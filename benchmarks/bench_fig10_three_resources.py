@@ -1,0 +1,44 @@
+"""Fig. 10: three-resource case study (CPU + burst buffer + power, §V-E).
+
+Regenerates the S6–S10 comparison with the power budget as a third
+schedulable resource and prints the five-axis Kiviat tables (including
+Avg_SysPower). Benchmarks a three-resource evaluation replay.
+"""
+
+from repro.experiments.figures import fig10_three_resources
+from repro.experiments.harness import ExperimentConfig, make_method, prepare_base_trace
+from repro.sched.ga import NSGA2Config
+from repro.sim.simulator import Simulator
+from repro.workload.suites import build_case_study_workload
+
+
+def test_fig10_three_resources(benchmark, bench_config, save_result):
+    config = ExperimentConfig(
+        nodes=bench_config.nodes,
+        bb_units=bench_config.bb_units,
+        n_jobs=100,
+        seed=bench_config.seed,
+        curriculum_sets=(1, 1, 1),
+        jobs_per_trainset=40,
+        ga_config=NSGA2Config(population=8, generations=3),
+    )
+    out = fig10_three_resources(
+        config, methods=("mrsch", "optimization", "scalar_rl", "heuristic")
+    )
+    save_result("fig10_three_resources", out["text"])
+
+    # Benchmark: one three-resource heuristic replay.
+    base = prepare_base_trace(config)
+    jobs, system = build_case_study_workload("S8", base, config.system(),
+                                             seed=config.seed)
+    sched = make_method("heuristic", system, config)
+    benchmark(lambda: Simulator(system, sched).run(jobs))
+
+    # Shape: five workloads × four methods, five axes each, power axis
+    # present, all normalized into [0, 1].
+    assert set(out["charts"]) == {"S6", "S7", "S8", "S9", "S10"}
+    for chart in out["charts"].values():
+        assert set(chart) == {"mrsch", "optimization", "scalar_rl", "heuristic"}
+        for axes in chart.values():
+            assert "avg_sys_power" in axes
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in axes.values())

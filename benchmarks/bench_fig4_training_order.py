@@ -1,0 +1,42 @@
+"""Fig. 4: training-quality and convergence vs curriculum ordering.
+
+Trains a fresh MRSch agent under each of the six (sampled, real,
+synthetic) orderings and reports the MSE loss trajectories and final
+losses. Benchmarks one replay-training batch (the inner loop of every
+curve point).
+"""
+
+from repro.experiments.figures import fig4_training_order
+from repro.experiments.harness import ExperimentConfig, make_method
+from repro.sched.ga import NSGA2Config
+
+
+def test_fig4_training_order(benchmark, bench_config, save_result):
+    config = ExperimentConfig(
+        nodes=bench_config.nodes,
+        bb_units=bench_config.bb_units,
+        n_jobs=100,
+        window_size=bench_config.window_size,
+        seed=bench_config.seed,
+        curriculum_sets=(2, 2, 2),
+        jobs_per_trainset=50,
+        ga_config=NSGA2Config(population=8, generations=3),
+    )
+    out = fig4_training_order(config)
+    save_result("fig4_training_order", out["text"])
+
+    # Benchmark a single replay batch on the trained agent's buffer.
+    system = config.system()
+    sched = make_method("mrsch", system, config)
+    from repro.experiments.harness import train_method
+
+    train_method(sched, system, config)
+    assert len(sched.agent.replay) > 0
+    benchmark(sched.agent.train_batch)
+
+    # Shape: six orderings, equal episode counts, finite losses.
+    assert len(out["data"]) == 6
+    lengths = {len(v) for v in out["data"].values()}
+    assert len(lengths) == 1
+    for losses in out["data"].values():
+        assert all(l >= 0 for l in losses)

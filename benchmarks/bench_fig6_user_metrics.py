@@ -1,0 +1,44 @@
+"""Fig. 6: user-level comparison (average wait time and slowdown).
+
+Reuses the session comparison grid; benchmarks the metric computation
+path. Shape check: MRSch's user-level metrics beat the FCFS heuristic on
+the fiercely contended workloads (S4/S5), where the paper reports its
+largest gains (up to 48% wait-time reduction).
+"""
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.sim.metrics import compute_metrics
+
+METHODS = ["mrsch", "optimization", "scalar_rl", "heuristic"]
+WORKLOADS = ["S1", "S2", "S3", "S4", "S5"]
+
+
+def test_fig6_user_metrics(benchmark, bench_config, comparison_grid, save_result):
+    blocks = []
+    for metric in ("avg_wait_h", "avg_slowdown"):
+        rows = {
+            m: [comparison_grid[w][m].as_dict()[metric] for w in WORKLOADS]
+            for m in METHODS
+        }
+        blocks.append(format_table(f"Fig 6 — {metric}", WORKLOADS, rows))
+    text = "\n\n".join(blocks)
+    save_result("fig6_user_metrics", text)
+
+    # Benchmark the metrics pipeline itself on a synthetic job list.
+    from repro.workload.theta import generate_theta_trace
+
+    system = bench_config.system()
+    jobs = generate_theta_trace(bench_config.trace_config(500), seed=1)
+    for i, job in enumerate(jobs):
+        job.start_time = job.submit_time + 100.0 * (i % 7)
+        job.end_time = job.start_time + job.runtime
+    benchmark(compute_metrics, jobs, system)
+
+    # Shape: on the heavy-contention workloads MRSch's wait/slowdown do
+    # not degrade past the FCFS heuristic (paper: large improvements).
+    heavy = ["S4", "S5"]
+    mrsch_wait = np.mean([comparison_grid[w]["mrsch"].avg_wait for w in heavy])
+    fcfs_wait = np.mean([comparison_grid[w]["heuristic"].avg_wait for w in heavy])
+    assert mrsch_wait <= 1.25 * fcfs_wait

@@ -1,0 +1,39 @@
+"""Fig. 7: Kiviat (radar) charts of overall scheduling performance.
+
+Normalizes the Fig 5/6 grid onto [0, 1] axes per workload and reports
+each method's radar polygon area (larger = better overall). Benchmarks
+the normalization itself.
+"""
+
+from repro.experiments.figures import _kiviat_area
+from repro.experiments.report import format_table
+from repro.sim.metrics import kiviat_normalize
+
+WORKLOADS = ["S1", "S2", "S3", "S4", "S5"]
+
+
+def test_fig7_kiviat(benchmark, comparison_grid, save_result):
+    charts = benchmark(
+        lambda: {w: kiviat_normalize(comparison_grid[w]) for w in WORKLOADS}
+    )
+
+    blocks = []
+    areas = {}
+    for w, chart in charts.items():
+        axis_names = list(next(iter(chart.values())).keys())
+        rows = {m: [axes[a] for a in axis_names] for m, axes in chart.items()}
+        blocks.append(format_table(f"Fig 7 — {w}", axis_names, rows))
+        areas[w] = {m: _kiviat_area(list(axes.values())) for m, axes in chart.items()}
+    area_rows = {
+        m: [areas[w][m] for w in WORKLOADS] for m in next(iter(areas.values()))
+    }
+    blocks.append(format_table("Fig 7 — radar polygon areas", WORKLOADS, area_rows))
+    save_result("fig7_kiviat", "\n\n".join(blocks))
+
+    # Shape: every normalized axis lies in [0, 1] and each workload has
+    # a method scoring 1.0 on each axis.
+    for chart in charts.values():
+        for axes in chart.values():
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in axes.values())
+        for axis in next(iter(chart.values())):
+            assert max(axes[axis] for axes in chart.values()) >= 1.0 - 1e-9

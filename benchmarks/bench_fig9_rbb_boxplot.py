@@ -1,0 +1,45 @@
+"""Fig. 9: distribution of rBB across the S1–S5 workloads.
+
+Regenerates the box statistics of the burst-buffer goal weight per
+workload and checks the paper's two observations: (1) rBB varies —
+unlike the scalar-RL constant 0.5 — and (2) S5 has the highest
+distribution (quartiles and mean). Benchmarks a full MRSch evaluation
+run including goal logging.
+"""
+
+from repro.experiments.figures import fig9_rbb_distribution
+from repro.experiments.harness import ExperimentConfig, make_method, prepare_base_trace
+from repro.sched.ga import NSGA2Config
+from repro.sim.simulator import Simulator
+from repro.workload.suites import build_workload
+
+
+def test_fig9_rbb_distribution(benchmark, bench_config, save_result):
+    config = ExperimentConfig(
+        nodes=bench_config.nodes,
+        bb_units=bench_config.bb_units,
+        n_jobs=120,
+        seed=bench_config.seed,
+        curriculum_sets=(1, 1, 1),
+        jobs_per_trainset=40,
+        ga_config=NSGA2Config(population=8, generations=3),
+    )
+    out = fig9_rbb_distribution(config, train=False)
+    save_result("fig9_rbb_boxplot", out["text"])
+
+    # Benchmark: one full MRSch evaluation replay (goal logging on).
+    system = config.system()
+    base = prepare_base_trace(config)
+    jobs = build_workload("S1", base, system, seed=config.seed)
+    sched = make_method("mrsch", system, config)
+    benchmark(lambda: Simulator(system, sched).run(jobs))
+
+    stats = out["data"]
+    # Shape: S5's central tendency tops the suite (paper: min, q1, mean,
+    # q3 and max all largest for S5).
+    for other in ("S1", "S2", "S3", "S4"):
+        assert stats["S5"]["median"] >= stats[other]["median"]
+        assert stats["S5"]["q3"] >= stats[other]["q3"]
+    # And rBB really varies within each workload.
+    for s in stats.values():
+        assert s["max"] > s["min"]

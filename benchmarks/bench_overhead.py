@@ -1,0 +1,40 @@
+"""§V-F: runtime overhead of MRSch scheduling decisions.
+
+The paper reports <2 s per decision for two resources and <3 s for
+three on a laptop-class machine, against a 15–30 s production budget.
+This regenerates the same measurement (encode + forward + argmax) and
+benchmarks the decision path directly at both resource counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import overhead_study
+from repro.experiments.harness import ExperimentConfig, make_method
+from repro.workload.suites import scaled_power_budget_units
+
+
+def test_overhead_report(benchmark, bench_config, save_result):
+    out = benchmark.pedantic(
+        overhead_study, args=(bench_config,), kwargs={"n_decisions": 100},
+        rounds=1, iterations=1,
+    )
+    save_result("overhead", out["text"])
+    # Shape: decisions are far under the paper's 15–30 s budget (our
+    # miniature network should be milliseconds).
+    for latency in out["data"].values():
+        assert latency < 2.0
+
+
+@pytest.mark.parametrize("n_resources", [2, 3], ids=["2res", "3res"])
+def test_decision_latency(benchmark, bench_config, n_resources):
+    system = bench_config.system()
+    if n_resources == 3:
+        system = system.with_power(scaled_power_budget_units(system))
+    sched = make_method("mrsch", system, bench_config)
+    rng = np.random.default_rng(0)
+    state = rng.random(sched.encoder.state_dim)
+    meas = rng.random(system.n_resources)
+    goal = np.full(system.n_resources, 1.0 / system.n_resources)
+    mask = np.ones(bench_config.window_size, dtype=bool)
+    benchmark(sched.agent.act, state, meas, goal, mask)

@@ -1,0 +1,78 @@
+"""Throughput benchmarks of the substrates underneath every experiment:
+the event queue, the resource pool, the state encoder and the DFP
+network. These bound the simulator's jobs/second and the agent's
+decisions/second at any system scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import ResourcePool, SystemConfig
+from repro.core.dfp import DFPAgent, DFPConfig
+from repro.core.encoding import StateEncoder
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.simulator import Simulator
+from repro.sched.fcfs import FCFSScheduler
+from repro.workload.theta import ThetaTraceConfig, generate_theta_trace
+from tests.conftest import make_job
+
+
+def test_event_queue_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    times = rng.uniform(0, 1e6, size=2000)
+    job = make_job()
+
+    def churn():
+        q = EventQueue()
+        for t in times:
+            q.push(Event(float(t), EventKind.SUBMIT, job))
+        while q:
+            q.pop()
+
+    benchmark(churn)
+
+
+def test_pool_allocate_release(benchmark):
+    system = SystemConfig.mini_theta(nodes=512, bb_units=256)
+    pool = ResourcePool(system)
+    jobs = [make_job(job_id=i, nodes=8, bb=2, runtime=100.0) for i in range(32)]
+
+    def cycle():
+        for job in jobs:
+            pool.allocate(job, now=0.0)
+        for job in jobs:
+            pool.release(job)
+            job.reset()
+
+    benchmark(cycle)
+
+
+def test_state_encoding_full_theta_scale(benchmark):
+    """Encoding at the paper's real dimensions (11,404-element state)."""
+    system = SystemConfig.theta()
+    encoder = StateEncoder(system, window_size=10)
+    pool = ResourcePool(system)
+    pool.allocate(make_job(job_id=1, nodes=2000, bb=500, runtime=3600.0), now=0.0)
+    window = [make_job(job_id=i + 2, nodes=128, bb=10) for i in range(10)]
+    out = benchmark(encoder.encode, window, pool, 100.0)
+    assert out.shape == (encoder.state_dim,)
+
+
+@pytest.mark.parametrize("batch", [1, 32], ids=["act", "train_batch"])
+def test_dfp_forward_throughput(benchmark, batch):
+    cfg = DFPConfig(state_dim=424, n_measurements=2, n_actions=10)
+    agent = DFPAgent(cfg, rng=0)
+    rng = np.random.default_rng(1)
+    s = rng.random((batch, 424))
+    m = rng.random((batch, 2))
+    g = rng.random((batch, 2))
+    benchmark(agent.network.forward, s, m, g)
+
+
+def test_simulator_jobs_per_second(benchmark):
+    system = SystemConfig.mini_theta(nodes=128, bb_units=64)
+    jobs = generate_theta_trace(
+        ThetaTraceConfig(total_nodes=128, n_jobs=300), seed=5
+    )
+    sched = FCFSScheduler(window_size=10)
+    benchmark(lambda: Simulator(system, sched, record_timeline=False).run(jobs))

@@ -1,0 +1,54 @@
+"""Table III: the S1–S5 workload suite.
+
+Benchmarks workload construction and regenerates the table's defining
+statistics — burst-buffer request fraction, size range and the
+light→heavy contention ladder.
+"""
+
+import numpy as np
+
+from repro.cluster.resources import BURST_BUFFER, NODE
+from repro.experiments.report import format_table
+from repro.workload.suites import WORKLOAD_SPECS, build_workload
+from repro.workload.theta import generate_theta_trace
+
+
+def test_table3_workload_generation(benchmark, bench_config, save_result):
+    system = bench_config.system()
+    base = generate_theta_trace(bench_config.trace_config(500), seed=bench_config.seed)
+
+    def build_all():
+        return {
+            name: build_workload(name, base, system, seed=bench_config.seed)
+            for name in WORKLOAD_SPECS
+        }
+
+    workloads = benchmark(build_all)
+
+    rows = {}
+    for name, jobs in workloads.items():
+        bb = np.array([j.request(BURST_BUFFER) for j in jobs])
+        nodes = np.array([j.request(NODE) for j in jobs])
+        rt = np.array([j.runtime for j in jobs])
+        with_bb = bb > 0
+        ratio = ((bb * rt).sum() / system.capacity(BURST_BUFFER)) / (
+            (nodes * rt).sum() / system.capacity(NODE)
+        )
+        rows[name] = [
+            float(with_bb.mean()),
+            float(bb[with_bb].min()) if with_bb.any() else 0.0,
+            float(bb[with_bb].max()) if with_bb.any() else 0.0,
+            float(nodes.mean()),
+            float(ratio),
+        ]
+    text = format_table(
+        "Table III — workloads (miniature scale, BB units of 1 TB-equivalent)",
+        ["frac_bb", "bb_min", "bb_max", "nodes_mean", "bb/node demand"],
+        rows,
+    )
+    save_result("table3_workloads", text)
+
+    # Shape assertions: the paper's light→heavy contention ladder.
+    ratios = {name: rows[name][4] for name in rows}
+    assert ratios["S1"] < ratios["S2"]
+    assert ratios["S3"] < ratios["S4"] < ratios["S5"]

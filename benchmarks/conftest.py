@@ -1,0 +1,57 @@
+"""Shared benchmark fixtures.
+
+Figure benchmarks are sized to finish in minutes on a laptop while still
+exercising the full pipeline (training included). The (method ×
+workload) comparison grid behind Figs 5, 6 and 7 is computed once per
+session and shared. Rendered tables are written to
+``benchmarks/results/`` so the regenerated paper rows persist after the
+run (pytest-benchmark captures timing, not stdout).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.sched.ga import NSGA2Config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The standard benchmark scale (miniature Theta, DESIGN.md §5)."""
+    return ExperimentConfig(
+        nodes=128,
+        bb_units=64,
+        n_jobs=150,
+        window_size=10,
+        seed=2022,
+        curriculum_sets=(2, 2, 2),
+        jobs_per_trainset=60,
+        ga_config=NSGA2Config(population=12, generations=6),
+    )
+
+
+@pytest.fixture(scope="session")
+def comparison_grid(bench_config):
+    """The 4-method × S1–S5 grid shared by the Fig 5/6/7 benchmarks."""
+    return run_comparison(
+        ["S1", "S2", "S3", "S4", "S5"],
+        ["mrsch", "optimization", "scalar_rl", "heuristic"],
+        bench_config,
+    )
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered figure table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The paper's Fig. 1 motivating example, replayed in the simulator.
+
+Four jobs with complementary demands on two resources, all submitted at
+once, one-hour runtimes. A fixed-priority scheduler that equally
+maximises both utilizations picks (J2, J3) first and needs three hours;
+the contention-aware order (J1, J3), (J2, J4) finishes in two. Eq. 1's
+goal vector shows what a dynamic prioritizer sees at t=0.
+
+Run:  python examples/motivating_example.py
+"""
+
+from repro import FCFSScheduler, Simulator
+from repro.cluster.resources import ResourceSpec, SystemConfig
+from repro.core.goal import goal_vector
+from repro.workload.job import Job
+
+HOUR = 3600.0
+DEMANDS = {"J1": (6, 3), "J2": (5, 5), "J3": (4, 5), "J4": (5, 4)}
+
+
+def build(order: list[str]) -> list[Job]:
+    return [
+        Job(
+            job_id=i + 1,
+            submit_time=i * 1e-3,  # pin the FCFS order
+            runtime=HOUR,
+            walltime=HOUR,
+            requests={"A": DEMANDS[name][0], "B": DEMANDS[name][1]},
+        )
+        for i, name in enumerate(order)
+    ]
+
+
+def main() -> None:
+    system = SystemConfig(resources=(ResourceSpec("A", 10), ResourceSpec("B", 10)))
+    print("Job demands (% of each resource):")
+    for name, (a, b) in DEMANDS.items():
+        print(f"  {name}: A={a * 10}%  B={b * 10}%")
+
+    for label, order in [
+        ("fixed-weight order (J2,J3),(J1),(J4)", ["J2", "J3", "J1", "J4"]),
+        ("ideal order       (J1,J3),(J2,J4)", ["J1", "J3", "J2", "J4"]),
+    ]:
+        result = Simulator(system, FCFSScheduler(window_size=4)).run(build(order))
+        print(f"\n{label}: makespan = {result.makespan / HOUR:.0f} h")
+        for job in sorted(result.jobs, key=lambda j: j.job_id):
+            print(
+                f"  job {job.job_id}: start {job.start_time / HOUR:.0f} h, "
+                f"end {job.end_time / HOUR:.0f} h"
+            )
+
+    g = goal_vector(build(["J1", "J2", "J3", "J4"]), [], system, now=0.0)
+    print(f"\nEq. 1 goal vector at t=0: rA={g[0]:.3f}, rB={g[1]:.3f}")
+    print("(resource A carries slightly more demand, but a static 0.5/0.5")
+    print(" weighting cannot see the pairing structure at all)")
+
+
+if __name__ == "__main__":
+    main()

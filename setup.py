@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments whose
+setuptools lacks the bundled ``bdist_wheel`` command (PEP 660 editable
+installs need the ``wheel`` package; the legacy path does not). All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

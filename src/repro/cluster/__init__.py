@@ -1,0 +1,26 @@
+"""Cluster substrate: schedulable-resource model and allocation pool.
+
+Resources are *unit-based*, matching the paper's state encoding (§III-A):
+a system administrator defines the unit (a compute node for CPU, a TB
+slice for the burst buffer, a kW slice for power), and every resource is
+a set of interchangeable units with per-unit estimated-available-time
+tracking.
+"""
+
+from repro.cluster.resources import (
+    NODE,
+    BURST_BUFFER,
+    POWER,
+    ResourcePool,
+    ResourceSpec,
+    SystemConfig,
+)
+
+__all__ = [
+    "ResourceSpec",
+    "SystemConfig",
+    "ResourcePool",
+    "NODE",
+    "BURST_BUFFER",
+    "POWER",
+]

@@ -1,0 +1,259 @@
+"""Schedulable resources: specs, system configurations, allocation pool.
+
+The pool tracks, per resource, which units are busy and each busy unit's
+*estimated* available time (start + user walltime, §III-A). Estimates —
+never actual runtimes — feed the state encoding and the reservation /
+backfill machinery, exactly as a production scheduler would operate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
+    from repro.workload.job import Job
+
+__all__ = ["ResourceSpec", "SystemConfig", "ResourcePool", "NODE", "BURST_BUFFER", "POWER"]
+
+#: Canonical resource names used by the paper's experiments.
+NODE = "node"
+BURST_BUFFER = "burst_buffer"
+POWER = "power"
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """One schedulable resource: a name and a unit count.
+
+    ``unit_label`` documents what a unit physically is (a node, a TB of
+    burst buffer, a kW of power budget).
+    """
+
+    name: str
+    units: int
+    unit_label: str = "unit"
+
+    def __post_init__(self) -> None:
+        if self.units <= 0:
+            raise ValueError(f"resource {self.name!r} must have positive units")
+        if not self.name:
+            raise ValueError("resource name must be non-empty")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """An ordered collection of resource specs describing one system."""
+
+    resources: tuple[ResourceSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [r.name for r in self.resources]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate resource names: {names}")
+        if not self.resources:
+            raise ValueError("a system needs at least one resource")
+
+    @property
+    def names(self) -> list[str]:
+        return [r.name for r in self.resources]
+
+    @property
+    def n_resources(self) -> int:
+        return len(self.resources)
+
+    def capacity(self, name: str) -> int:
+        for spec in self.resources:
+            if spec.name == name:
+                return spec.units
+        raise KeyError(f"unknown resource {name!r}")
+
+    def validate_job(self, job: Job) -> None:
+        """Reject jobs that request unknown resources or exceed capacity."""
+        for name, amount in job.requests.items():
+            if amount == 0:
+                continue
+            if name not in self.names:
+                raise ValueError(f"job {job.job_id} requests unknown resource {name!r}")
+            if amount > self.capacity(name):
+                raise ValueError(
+                    f"job {job.job_id} requests {amount} {name} units, "
+                    f"capacity is {self.capacity(name)}"
+                )
+
+    # -- canonical configurations ---------------------------------------
+
+    @classmethod
+    def theta(cls) -> "SystemConfig":
+        """Full-scale Theta: 4,392 KNL nodes + 1.26 PB shared burst buffer
+        in 1 TB units (paper §IV-A)."""
+        return cls(
+            resources=(
+                ResourceSpec(NODE, 4392, "KNL node"),
+                ResourceSpec(BURST_BUFFER, 1290, "TB of burst buffer"),
+            )
+        )
+
+    @classmethod
+    def mini_theta(cls, nodes: int = 128, bb_units: int = 64) -> "SystemConfig":
+        """Proportional miniature of Theta for fast simulation.
+
+        Contention *ratios* — not absolute unit counts — drive every
+        result in the paper, so the experiment harness defaults to this
+        configuration (see DESIGN.md §5).
+        """
+        return cls(
+            resources=(
+                ResourceSpec(NODE, nodes, "node"),
+                ResourceSpec(BURST_BUFFER, bb_units, "TB of burst buffer"),
+            )
+        )
+
+    def with_power(self, power_units: int) -> "SystemConfig":
+        """Extend this system with a power-budget resource (§V-E).
+
+        A power unit is one kW of the facility budget; the paper caps the
+        system at 500 kW.
+        """
+        return SystemConfig(
+            resources=self.resources + (ResourceSpec(POWER, power_units, "kW of power budget"),)
+        )
+
+
+class ResourcePool:
+    """Allocation state for every resource of a system.
+
+    Per resource ``r`` the pool keeps two parallel arrays of length
+    ``capacity(r)``:
+
+    * ``busy``    — boolean, unit currently allocated,
+    * ``est_free``— estimated time the unit frees (start + walltime);
+      meaningful only where ``busy`` is set.
+
+    Units are interchangeable; allocation picks the lowest-index free
+    units so behaviour is deterministic.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self._busy: dict[str, np.ndarray] = {
+            spec.name: np.zeros(spec.units, dtype=bool) for spec in config.resources
+        }
+        self._est_free: dict[str, np.ndarray] = {
+            spec.name: np.zeros(spec.units) for spec in config.resources
+        }
+        #: job_id -> {resource: unit index array}
+        self._allocations: dict[int, dict[str, np.ndarray]] = {}
+
+    # -- queries ---------------------------------------------------------
+
+    def free_units(self, name: str) -> int:
+        return int((~self._busy[name]).sum())
+
+    def busy_units(self, name: str) -> int:
+        return int(self._busy[name].sum())
+
+    def utilization(self, name: str) -> float:
+        """Instantaneous busy fraction of a resource."""
+        busy = self._busy[name]
+        return float(busy.sum() / busy.size)
+
+    def utilizations(self) -> np.ndarray:
+        """Instantaneous utilization of every resource, config order."""
+        return np.array([self.utilization(n) for n in self.config.names])
+
+    def can_fit(self, job: Job) -> bool:
+        """True when every requested resource has enough free units."""
+        return all(
+            self.free_units(name) >= amount
+            for name, amount in job.requests.items()
+            if amount > 0
+        )
+
+    def running_jobs(self) -> list[int]:
+        return list(self._allocations)
+
+    def allocation_of(self, job_id: int) -> dict[str, np.ndarray]:
+        return {k: v.copy() for k, v in self._allocations[job_id].items()}
+
+    # -- state transitions -------------------------------------------------
+
+    def allocate(self, job: Job, now: float) -> None:
+        """Allocate units for ``job`` starting at ``now``.
+
+        Estimated free time is ``now + walltime`` — the scheduler-visible
+        estimate, not the hidden actual runtime.
+        """
+        if job.job_id in self._allocations:
+            raise RuntimeError(f"job {job.job_id} is already allocated")
+        if not self.can_fit(job):
+            raise RuntimeError(f"job {job.job_id} does not fit")
+        grant: dict[str, np.ndarray] = {}
+        est = now + job.walltime
+        for name, amount in job.requests.items():
+            if amount <= 0:
+                continue
+            free_idx = np.flatnonzero(~self._busy[name])[:amount]
+            self._busy[name][free_idx] = True
+            self._est_free[name][free_idx] = est
+            grant[name] = free_idx
+        self._allocations[job.job_id] = grant
+        job.allocation = {k: v.tolist() for k, v in grant.items()}
+
+    def release(self, job: Job) -> None:
+        """Free every unit held by ``job``."""
+        grant = self._allocations.pop(job.job_id, None)
+        if grant is None:
+            raise RuntimeError(f"job {job.job_id} holds no allocation")
+        for name, idx in grant.items():
+            self._busy[name][idx] = False
+            self._est_free[name][idx] = 0.0
+
+    def reset(self) -> None:
+        for name in self.config.names:
+            self._busy[name][...] = False
+            self._est_free[name][...] = 0.0
+        self._allocations.clear()
+
+    # -- scheduler support ---------------------------------------------------
+
+    def unit_state(self, name: str, now: float) -> tuple[np.ndarray, np.ndarray]:
+        """Per-unit (availability bit, time-to-free) — paper §III-A encoding.
+
+        Availability is 1 for free units; time-to-free is
+        ``max(0, est_free - now)`` for busy units and 0 for free ones.
+        """
+        busy = self._busy[name]
+        avail = (~busy).astype(float)
+        ttf = np.where(busy, np.maximum(self._est_free[name] - now, 0.0), 0.0)
+        return avail, ttf
+
+    def earliest_fit_time(self, job: Job, now: float) -> float:
+        """Estimated earliest time ``job``'s full request can be satisfied.
+
+        For each resource, take the request'th smallest estimated free
+        time over all units (free units count as available ``now``); the
+        answer is the max over resources. Used for reservation shadow
+        times in EASY backfilling.
+        """
+        t = now
+        for name, amount in job.requests.items():
+            if amount <= 0:
+                continue
+            busy = self._busy[name]
+            free_times = np.where(busy, self._est_free[name], now)
+            if amount > free_times.size:
+                raise ValueError(
+                    f"job {job.job_id} requests more {name} than system capacity"
+                )
+            kth = np.partition(free_times, amount - 1)[amount - 1]
+            t = max(t, float(kth))
+        return t
+
+    def free_units_at(self, name: str, when: float, now: float) -> int:
+        """Estimated number of free units of ``name`` at time ``when``."""
+        busy = self._busy[name]
+        free_times = np.where(busy, self._est_free[name], now)
+        return int((free_times <= when).sum())

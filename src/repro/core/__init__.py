@@ -1,0 +1,45 @@
+"""MRSch core: the paper's primary contribution.
+
+An intelligent multi-resource scheduling agent built on Direct Future
+Prediction (DFP, Dosovitskiy & Koltun 2017), adapted to HPC per §III:
+
+``encoding``
+    Vector state encoding — (R+2) elements per window job, 2 per
+    resource unit (§III-A).
+``goal``
+    Dynamic resource prioritizing — the Eq. 1 goal vector (§III-B).
+``measurements``
+    The measurement vector (per-resource utilization, §III-A).
+``dfp``
+    The DFP network (three input modules, expectation + normalized
+    action streams) and the replay-trained agent.
+``cnn_state``
+    The CNN state-module variant the paper ablates in Fig. 3.
+``mrsch``
+    :class:`MRSchScheduler` — the agent plugged into the shared
+    window/reservation/backfill machinery.
+``training``
+    Episode runner and the §III-D three-phase curriculum.
+"""
+
+from repro.core.cnn_state import build_cnn_state_module
+from repro.core.dfp import DFPAgent, DFPConfig, DFPNetwork
+from repro.core.encoding import StateEncoder
+from repro.core.goal import goal_vector
+from repro.core.measurements import measurement_vector
+from repro.core.mrsch import MRSchScheduler
+from repro.core.training import TrainingResult, curriculum_training, train_episodes
+
+__all__ = [
+    "StateEncoder",
+    "goal_vector",
+    "measurement_vector",
+    "DFPConfig",
+    "DFPNetwork",
+    "DFPAgent",
+    "build_cnn_state_module",
+    "MRSchScheduler",
+    "train_episodes",
+    "curriculum_training",
+    "TrainingResult",
+]

@@ -1,0 +1,513 @@
+"""Direct Future Prediction (DFP) network and agent.
+
+DFP (Dosovitskiy & Koltun, ICLR 2017) is the multi-objective RL
+algorithm MRSch builds on. Instead of a scalar value function it learns
+to *predict the future measurement changes* each action would cause,
+conditioned on the current state, measurement and goal; acting is then
+goal-weighted argmax over predictions, which lets the objective change
+at runtime simply by changing the goal vector — no retraining.
+
+Architecture (paper §II-B / Fig. 2):
+
+* three input modules — state ``s`` (MLP here, §III-A; CNN variant in
+  :mod:`repro.core.cnn_state`), measurement ``m`` and goal ``g`` — whose
+  outputs are concatenated into a joint representation ``j``;
+* two parallel streams on ``j``, following the dueling architecture:
+  an **expectation stream** predicting the action-averaged future
+  measurement change, and an **action stream** predicting per-action
+  deviations, normalised to zero mean across actions;
+* the prediction for action ``a`` is ``expectation + normalised(a)``,
+  one value per (measurement, temporal offset) pair.
+
+Training regresses predictions of the *taken* action onto realised
+future measurement changes at several temporal offsets (MSE), from an
+experience-replay buffer, with an ε-greedy behaviour policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers import Dense, LeakyReLU
+from repro.nn.losses import mse_loss
+from repro.nn.network import Sequential
+from repro.nn.optim import Adam
+from repro.utils.rng import as_generator, spawn_generators
+
+__all__ = ["DFPConfig", "DFPNetwork", "DFPAgent", "Experience"]
+
+
+@dataclass(frozen=True)
+class DFPConfig:
+    """Hyper-parameters of the DFP network and agent.
+
+    Defaults are sized for the miniature experiment system; the paper's
+    full-scale Theta network (§IV-C: 4000/1000 hidden units, 512-d state
+    output, 128-unit measurement/goal modules) is available via
+    :meth:`paper_scale`.
+    """
+
+    state_dim: int
+    n_measurements: int
+    n_actions: int
+    #: temporal offsets, in scheduling decisions, at which future
+    #: measurement changes are predicted. Starting at 2 (not 1) dilutes
+    #: the instantaneous "grab the biggest job" signal that short
+    #: horizons over-reward; see EXPERIMENTS.md calibration notes.
+    offsets: tuple[int, ...] = (2, 4, 8, 16)
+    #: relative weight of each offset in the action-selection objective;
+    #: later offsets matter more (long-term effect), as in the DFP paper
+    temporal_weights: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+    state_hidden: tuple[int, int] = (256, 128)
+    state_out: int = 128
+    module_hidden: int = 64
+    module_out: int = 64
+    stream_hidden: int = 128
+    #: action-stream weight sharing: "shared" scores every window slot
+    #: with one head over (joint representation, that slot's job
+    #: features) — far more sample-efficient at laptop training budgets;
+    #: "dense" is the paper's monolithic stream (one output block per
+    #: action), appropriate at paper-scale training volumes.
+    action_stream: str = "shared"
+    #: per-slot feature width inside the state vector (R+2 for the
+    #: §III-A encoding); used only by the shared action stream, which
+    #: slices slot features from the state input.
+    slot_dim: int | None = None
+    lr: float = 5e-4
+    batch_size: int = 64
+    replay_capacity: int = 20_000
+    train_batches_per_episode: int = 128
+    epsilon_start: float = 1.0
+    epsilon_min: float = 0.03
+    #: per-decision ε decay rate (paper: α = 0.995 per episode at
+    #: paper-scale training; per-decision 0.999 at laptop scale)
+    epsilon_decay: float = 0.999
+    grad_clip: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.state_dim <= 0 or self.n_measurements <= 0 or self.n_actions <= 0:
+            raise ValueError("dimensions must be positive")
+        if len(self.offsets) != len(self.temporal_weights):
+            raise ValueError("offsets and temporal_weights must have equal length")
+        if any(o <= 0 for o in self.offsets):
+            raise ValueError("offsets must be positive")
+        if list(self.offsets) != sorted(self.offsets):
+            raise ValueError("offsets must be increasing")
+        if not 0.0 <= self.epsilon_min <= self.epsilon_start <= 1.0:
+            raise ValueError("invalid epsilon range")
+        if not 0.0 < self.epsilon_decay <= 1.0:
+            raise ValueError("epsilon_decay must be in (0, 1]")
+        if self.action_stream not in ("shared", "dense"):
+            raise ValueError("action_stream must be 'shared' or 'dense'")
+        if self.action_stream == "shared":
+            slot = self.slot_dim if self.slot_dim is not None else 0
+            if slot <= 0:
+                # Default to the §III-A layout: R+2 features per slot.
+                object.__setattr__(self, "slot_dim", self.n_measurements + 2)
+            if self.slot_dim * self.n_actions > self.state_dim:
+                raise ValueError(
+                    "state vector too short for n_actions slots of slot_dim features"
+                )
+
+    @property
+    def n_offsets(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def pred_dim(self) -> int:
+        """Prediction size per action: one value per (measurement, offset)."""
+        return self.n_measurements * self.n_offsets
+
+    @classmethod
+    def paper_scale(cls, state_dim: int, n_measurements: int, n_actions: int) -> "DFPConfig":
+        """The §IV-C full-scale architecture."""
+        return cls(
+            state_dim=state_dim,
+            n_measurements=n_measurements,
+            n_actions=n_actions,
+            state_hidden=(4000, 1000),
+            state_out=512,
+            module_hidden=128,
+            module_out=128,
+            stream_hidden=512,
+            action_stream="dense",
+        )
+
+
+@dataclass
+class Experience:
+    """One decision: inputs, the action taken, and its realised future.
+
+    ``terminal`` marks a selection whose job did not fit (it became the
+    instance's reservation). These are structurally rare — at most one
+    per scheduling instance — so replay sampling stratifies on the flag
+    to keep the "don't grab what doesn't fit" signal from being drowned
+    out by the abundant fitting-selection experiences.
+    """
+
+    state: np.ndarray
+    measurement: np.ndarray
+    goal: np.ndarray
+    action: int
+    target: np.ndarray  # (pred_dim,) realised future measurement changes
+    terminal: bool = False
+
+
+def _mlp(dims: list[int], rngs: list[np.random.Generator], final_activation: bool) -> Sequential:
+    layers: list = []
+    for i in range(len(dims) - 1):
+        layers.append(Dense(dims[i], dims[i + 1], rng=rngs[i]))
+        if i < len(dims) - 2 or final_activation:
+            layers.append(LeakyReLU())
+    return Sequential(layers)
+
+
+class DFPNetwork:
+    """Three input modules → joint representation → dueling streams."""
+
+    def __init__(
+        self,
+        config: DFPConfig,
+        rng: np.random.Generator | int | None = None,
+        state_module: Sequential | None = None,
+        state_module_out: int | None = None,
+    ) -> None:
+        self.config = config
+        rng = as_generator(rng)
+        rngs = spawn_generators(rng, 16)
+        c = config
+        if state_module is not None:
+            if state_module_out is None:
+                raise ValueError("state_module_out required with a custom state module")
+            self.state_net = state_module
+            state_out = state_module_out
+        else:
+            # §III-A: input layer, two leaky-rectified FC layers, output.
+            self.state_net = _mlp(
+                [c.state_dim, c.state_hidden[0], c.state_hidden[1], c.state_out],
+                rngs[0:3],
+                final_activation=True,
+            )
+            state_out = c.state_out
+        self._state_out = state_out
+        # §IV-C: three-layer fully-connected measurement and goal modules.
+        self.meas_net = _mlp(
+            [c.n_measurements, c.module_hidden, c.module_out], rngs[3:5], True
+        )
+        self.goal_net = _mlp(
+            [c.n_measurements, c.module_hidden, c.module_out], rngs[5:7], True
+        )
+        joint = state_out + 2 * c.module_out
+        self._joint_dim = joint
+        self.expectation_stream = _mlp(
+            [joint, c.stream_hidden, c.pred_dim], rngs[7:9], False
+        )
+        if c.action_stream == "shared":
+            # One head applied to every slot: (joint ⊕ slot features) → P.
+            self.action_stream = _mlp(
+                [joint + c.slot_dim, c.stream_hidden, c.pred_dim], rngs[9:11], False
+            )
+        else:
+            self.action_stream = _mlp(
+                [joint, c.stream_hidden, c.n_actions * c.pred_dim], rngs[9:11], False
+            )
+        self._joint_splits: tuple[int, int] = (state_out, state_out + c.module_out)
+
+    @property
+    def layers(self) -> list:
+        return (
+            self.state_net.layers
+            + self.meas_net.layers
+            + self.goal_net.layers
+            + self.expectation_stream.layers
+            + self.action_stream.layers
+        )
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def parameter_count(self) -> int:
+        return sum(p.size for layer in self.layers for p in layer.params.values())
+
+    # -- forward / backward ------------------------------------------------
+
+    def forward(
+        self,
+        state: np.ndarray,
+        measurement: np.ndarray,
+        goal: np.ndarray,
+        training: bool = False,
+    ) -> np.ndarray:
+        """Predict future measurement changes: (B, n_actions, pred_dim)."""
+        c = self.config
+        s = self.state_net.forward(state, training=training)
+        m = self.meas_net.forward(measurement, training=training)
+        g = self.goal_net.forward(goal, training=training)
+        joint = np.concatenate([s, m, g], axis=1)
+        expectation = self.expectation_stream.forward(joint, training=training)
+        batch = joint.shape[0]
+        if c.action_stream == "shared":
+            slots = state[:, : c.n_actions * c.slot_dim].reshape(
+                batch, c.n_actions, c.slot_dim
+            )
+            head_in = np.concatenate(
+                [
+                    np.repeat(joint[:, None, :], c.n_actions, axis=1),
+                    slots,
+                ],
+                axis=2,
+            ).reshape(batch * c.n_actions, self._joint_dim + c.slot_dim)
+            actions = self.action_stream.forward(head_in, training=training).reshape(
+                batch, c.n_actions, c.pred_dim
+            )
+        else:
+            raw = self.action_stream.forward(joint, training=training)
+            actions = raw.reshape(batch, c.n_actions, c.pred_dim)
+        # Dueling normalisation: per-(measurement, offset) zero mean
+        # across actions, so the expectation stream carries the average.
+        normalised = actions - actions.mean(axis=1, keepdims=True)
+        return expectation[:, None, :] + normalised
+
+    def backward(self, grad_pred: np.ndarray) -> None:
+        """Backpropagate d(loss)/d(prediction) through both streams."""
+        c = self.config
+        batch = grad_pred.shape[0]
+        grad_exp = grad_pred.sum(axis=1)
+        # y_a = A_a - mean_a(A)  =>  dA_a = dy_a - mean_a(dy).
+        grad_act = grad_pred - grad_pred.mean(axis=1, keepdims=True)
+        grad_joint = self.expectation_stream.backward(grad_exp)
+        if c.action_stream == "shared":
+            grad_head_in = self.action_stream.backward(
+                grad_act.reshape(batch * c.n_actions, c.pred_dim)
+            )
+            # Joint features were broadcast to every slot; gradients sum
+            # back over slots. Slot features are raw inputs — no
+            # parameters behind them, so their gradient is dropped.
+            grad_joint = grad_joint + grad_head_in[:, : self._joint_dim].reshape(
+                batch, c.n_actions, self._joint_dim
+            ).sum(axis=1)
+        else:
+            grad_joint = grad_joint + self.action_stream.backward(
+                grad_act.reshape(batch, c.n_actions * c.pred_dim)
+            )
+        i, j = self._joint_splits
+        self.state_net.backward(grad_joint[:, :i])
+        self.meas_net.backward(grad_joint[:, i:j])
+        self.goal_net.backward(grad_joint[:, j:])
+
+    # -- persistence ---------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for branch, net in self._branches():
+            for key, value in net.state_dict().items():
+                out[f"{branch}.{key}"] = value
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for branch, net in self._branches():
+            prefix = f"{branch}."
+            sub = {k[len(prefix) :]: v for k, v in state.items() if k.startswith(prefix)}
+            net.load_state_dict(sub)
+
+    def _branches(self) -> list[tuple[str, Sequential]]:
+        return [
+            ("state", self.state_net),
+            ("meas", self.meas_net),
+            ("goal", self.goal_net),
+            ("expectation", self.expectation_stream),
+            ("action", self.action_stream),
+        ]
+
+
+class DFPAgent:
+    """ε-greedy, replay-trained DFP agent.
+
+    The agent is environment-agnostic: :class:`~repro.core.mrsch.MRSchScheduler`
+    feeds it encoded states/measurements/goals and reports episode
+    measurement histories; the agent owns prediction, action selection,
+    target construction and learning.
+    """
+
+    def __init__(
+        self,
+        config: DFPConfig,
+        rng: np.random.Generator | int | None = None,
+        state_module: Sequential | None = None,
+        state_module_out: int | None = None,
+    ) -> None:
+        self.config = config
+        self.rng = as_generator(rng)
+        net_rng, self._sample_rng = spawn_generators(self.rng, 2)
+        self.network = DFPNetwork(
+            config, rng=net_rng, state_module=state_module, state_module_out=state_module_out
+        )
+        self.optimizer = Adam(self.network.layers, lr=config.lr)
+        self.replay: deque[Experience] = deque(maxlen=config.replay_capacity)
+        self.epsilon = config.epsilon_start
+
+    # -- acting ------------------------------------------------------------
+
+    def objective_weights(self, goal: np.ndarray) -> np.ndarray:
+        """Flatten goal × temporal weights to a (pred_dim,) vector.
+
+        The pursued objective is ``Σ_τ w_τ · g · Δm̂_τ`` — the dot
+        product of predicted measurement changes with the goal, weighted
+        over temporal offsets.
+        """
+        c = self.config
+        w = np.asarray(c.temporal_weights)
+        return (w[:, None] * goal[None, :]).reshape(c.pred_dim)
+
+    def action_scores(
+        self, state: np.ndarray, measurement: np.ndarray, goal: np.ndarray
+    ) -> np.ndarray:
+        """Goal-weighted predicted outcomes, one score per action."""
+        preds = self.network.forward(state[None, :], measurement[None, :], goal[None, :])
+        return preds[0] @ self.objective_weights(goal)
+
+    def act(
+        self,
+        state: np.ndarray,
+        measurement: np.ndarray,
+        goal: np.ndarray,
+        valid_mask: np.ndarray,
+        explore: bool = False,
+        score_bonus: np.ndarray | None = None,
+    ) -> int:
+        """Choose an action; ε-greedy when ``explore`` is set.
+
+        ``score_bonus`` is added to the goal-weighted predicted scores
+        before the argmax — the hook for the scheduler-level policy
+        prior (see :class:`~repro.core.mrsch.MRSchScheduler`).
+        """
+        valid = np.flatnonzero(valid_mask)
+        if valid.size == 0:
+            raise ValueError("no valid actions")
+        if explore and self._sample_rng.random() < self.epsilon:
+            action = int(self._sample_rng.choice(valid))
+        else:
+            scores = self.action_scores(state, measurement, goal)
+            if score_bonus is not None:
+                scores = scores + score_bonus
+            scores = np.where(valid_mask, scores, -np.inf)
+            action = int(np.argmax(scores))
+        if explore:
+            self.epsilon = max(
+                self.config.epsilon_min, self.epsilon * self.config.epsilon_decay
+            )
+        return action
+
+    # -- learning ----------------------------------------------------------
+
+    def build_targets(self, measurements: list[np.ndarray]) -> np.ndarray:
+        """Realised future measurement changes for every episode step.
+
+        ``targets[t, k·M:(k+1)·M] = m_{t+τ_k} − m_t``; steps whose offset
+        reaches past the episode end use the final measurement (the
+        standard DFP treatment of terminal frames).
+        """
+        c = self.config
+        if not measurements:
+            return np.zeros((0, c.pred_dim))
+        stack = np.vstack(measurements)
+        steps = stack.shape[0]
+        targets = np.empty((steps, c.pred_dim))
+        for k, offset in enumerate(c.offsets):
+            future_idx = np.minimum(np.arange(steps) + offset, steps - 1)
+            targets[:, k * c.n_measurements : (k + 1) * c.n_measurements] = (
+                stack[future_idx] - stack
+            )
+        return targets
+
+    def record_episode(
+        self,
+        steps: list[tuple[np.ndarray, np.ndarray, np.ndarray, int, bool]],
+        measurements: list[np.ndarray],
+    ) -> None:
+        """Convert an episode's decisions into replayable experiences.
+
+        Each step is ``(state, measurement, goal, action, terminal)``
+        with ``terminal`` true when the selected job did not fit.
+        """
+        if len(steps) != len(measurements):
+            raise ValueError("one measurement per decision step is required")
+        targets = self.build_targets(measurements)
+        for (state, meas, goal, action, terminal), target in zip(steps, targets):
+            self.replay.append(
+                Experience(state, meas, goal, action, target, terminal)
+            )
+
+    def _sample_batch(self, n: int) -> list[Experience]:
+        """Stratified replay draw: half terminal, half non-terminal.
+
+        Falls back to uniform sampling when one class is absent.
+        """
+        terminal = [e for e in self.replay if e.terminal]
+        regular = [e for e in self.replay if not e.terminal]
+        rng = self._sample_rng
+        if not terminal or not regular:
+            idx = rng.choice(len(self.replay), size=n, replace=len(self.replay) < n)
+            return [self.replay[int(i)] for i in idx]
+        half = n // 2
+        picks = [
+            terminal[int(i)]
+            for i in rng.choice(len(terminal), size=half, replace=len(terminal) < half)
+        ]
+        picks += [
+            regular[int(i)]
+            for i in rng.choice(
+                len(regular), size=n - half, replace=len(regular) < n - half
+            )
+        ]
+        return picks
+
+    def train_batch(self) -> float:
+        """One minibatch of MSE regression on taken-action predictions."""
+        c = self.config
+        if len(self.replay) == 0:
+            return 0.0
+        n = min(c.batch_size, len(self.replay))
+        batch = self._sample_batch(n)
+        states = np.vstack([e.state for e in batch])
+        meas = np.vstack([e.measurement for e in batch])
+        goals = np.vstack([e.goal for e in batch])
+        actions = np.array([e.action for e in batch])
+        targets_taken = np.vstack([e.target for e in batch])
+
+        preds = self.network.forward(states, meas, goals, training=True)
+        targets = preds.copy()
+        targets[np.arange(n), actions] = targets_taken
+        mask = np.zeros_like(preds)
+        mask[np.arange(n), actions] = 1.0
+
+        loss, grad = mse_loss(preds, targets, mask=mask)
+        self.optimizer.zero_grad()
+        self.network.backward(grad)
+        self.optimizer.clip_gradients(c.grad_clip)
+        self.optimizer.step()
+        return loss
+
+    def train_epoch(self, n_batches: int | None = None) -> float:
+        """Run ``n_batches`` replay updates; returns the mean loss."""
+        n_batches = n_batches or self.config.train_batches_per_episode
+        losses = [self.train_batch() for _ in range(n_batches)]
+        return float(np.mean(losses)) if losses else 0.0
+
+    # -- persistence ---------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        out = self.network.state_dict()
+        out["__epsilon__"] = np.array([self.epsilon])
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        state = dict(state)
+        eps = state.pop("__epsilon__", None)
+        if eps is not None:
+            self.epsilon = float(np.asarray(eps).ravel()[0])
+        self.network.load_state_dict(state)

@@ -1,0 +1,66 @@
+"""Dynamic resource prioritizing — the Eq. 1 goal vector (paper §III-B).
+
+The goal vector weights each measurement in the scheduling objective.
+MRSch recomputes it every scheduling instance so the fiercest-contended
+resource gets the most attention:
+
+.. math::
+
+    r_j = \\frac{\\sum_{i=1}^{N} P_{ij} t_i}
+               {\\sum_{j=1}^{R} \\sum_{i=1}^{N} P_{ij} t_i}
+
+where :math:`P_{ij}` is job *i*'s request for resource *j* as a fraction
+of capacity, and :math:`t_i` is the user runtime estimate for queued
+jobs or the *remaining* estimate for running jobs. The numerator is the
+(normalised) time needed to drain all demand for resource *j* at full
+utilization — a longer drain time means fiercer contention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.resources import SystemConfig
+from repro.workload.job import Job
+
+__all__ = ["goal_vector", "contention_terms"]
+
+
+def contention_terms(
+    queued: list[Job],
+    running: list[Job],
+    system: SystemConfig,
+    now: float,
+) -> np.ndarray:
+    """Unnormalised per-resource drain times ``Σ_i P_ij · t_i``."""
+    names = system.names
+    caps = np.array([system.capacity(n) for n in names], dtype=float)
+    totals = np.zeros(len(names))
+    for job in queued:
+        req = np.array([job.request(n) for n in names], dtype=float)
+        totals += (req / caps) * job.walltime
+    for job in running:
+        if job.start_time is None:
+            raise ValueError(f"running job {job.job_id} has no start time")
+        remaining = max(job.walltime - (now - job.start_time), 0.0)
+        req = np.array([job.request(n) for n in names], dtype=float)
+        totals += (req / caps) * remaining
+    return totals
+
+
+def goal_vector(
+    queued: list[Job],
+    running: list[Job],
+    system: SystemConfig,
+    now: float,
+) -> np.ndarray:
+    """Eq. 1: contention-normalised resource weights (a simplex point).
+
+    With no demand at all, falls back to uniform weights — every
+    resource matters equally in an idle system.
+    """
+    totals = contention_terms(queued, running, system, now)
+    denom = totals.sum()
+    if denom <= 0:
+        return np.full(system.n_resources, 1.0 / system.n_resources)
+    return totals / denom

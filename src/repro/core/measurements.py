@@ -1,0 +1,21 @@
+"""The DFP measurement vector (paper §III-A).
+
+Feedback in DFP is a *vector* of measurements rather than a scalar
+reward. MRSch's measurements are the metrics of the site's scheduling
+objective — here, as in the paper, the instantaneous utilization of
+every schedulable resource (``<node util, burst-buffer util>`` for the
+two-resource setup, plus power for §V-E).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.resources import ResourcePool
+
+__all__ = ["measurement_vector"]
+
+
+def measurement_vector(pool: ResourcePool) -> np.ndarray:
+    """Per-resource utilization in config order, each in [0, 1]."""
+    return pool.utilizations()

@@ -1,0 +1,202 @@
+"""Shared experiment machinery.
+
+One :class:`ExperimentConfig` fixes the system scale, trace size,
+training budget and RNG seed of an experiment; the harness then builds
+the base trace, instantiates any method by paper name, trains the
+trainable ones on the §III-D curriculum, and replays the evaluation
+workloads.
+
+Scale note: defaults target the miniature Theta (DESIGN.md §5) so that a
+full (4 methods × 5 workloads) grid runs in minutes on a laptop. All the
+knobs — node/BB counts, job counts, GA budget, training episodes — are
+explicit, so the same harness drives full-scale runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.resources import SystemConfig
+from repro.core.mrsch import MRSchScheduler
+from repro.core.training import TrainingResult, curriculum_training
+from repro.sched.base import Scheduler
+from repro.sched.ga import NSGA2Config
+from repro.sched.registry import make_scheduler
+from repro.sim.metrics import MetricReport
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.utils.rng import as_generator, spawn_generators
+from repro.workload.job import Job
+from repro.workload.sampling import build_curriculum
+from repro.workload.suites import build_case_study_workload, build_workload
+from repro.workload.theta import ThetaTraceConfig, generate_theta_trace
+
+__all__ = ["ExperimentConfig", "prepare_base_trace", "train_method", "run_comparison"]
+
+PAPER_METHODS = ("mrsch", "optimization", "scalar_rl", "heuristic")
+
+
+@dataclass
+class ExperimentConfig:
+    """Sizing and seeding of one experiment."""
+
+    nodes: int = 128
+    bb_units: int = 64
+    n_jobs: int = 150
+    window_size: int = 10
+    seed: int = 2022
+    #: training curriculum sizing (per phase: sampled / real / synthetic)
+    curriculum_sets: tuple[int, int, int] = (3, 3, 3)
+    jobs_per_trainset: int = 80
+    #: GA budget (kept small: the GA is the slowest method per decision)
+    ga_config: NSGA2Config = field(default_factory=lambda: NSGA2Config(population=12, generations=6))
+    mean_interarrival: float = 600.0
+
+    def system(self) -> SystemConfig:
+        return SystemConfig.mini_theta(nodes=self.nodes, bb_units=self.bb_units)
+
+    def trace_config(self, n_jobs: int | None = None) -> ThetaTraceConfig:
+        return ThetaTraceConfig(
+            total_nodes=self.nodes,
+            n_jobs=n_jobs or self.n_jobs,
+            mean_interarrival=self.mean_interarrival,
+        )
+
+
+def prepare_base_trace(config: ExperimentConfig, n_jobs: int | None = None) -> list[Job]:
+    """Generate the Theta-like base trace for an experiment."""
+    return generate_theta_trace(config.trace_config(n_jobs), seed=config.seed)
+
+
+def make_method(
+    name: str,
+    system: SystemConfig,
+    config: ExperimentConfig,
+    seed: int | None = None,
+    **kwargs,
+) -> Scheduler:
+    """Instantiate a paper method with the experiment's sizing applied."""
+    seed = config.seed if seed is None else seed
+    if name == "optimization":
+        kwargs.setdefault("config", config.ga_config)
+    return make_scheduler(name, system, window_size=config.window_size, seed=seed, **kwargs)
+
+
+def train_method(
+    scheduler: Scheduler,
+    system: SystemConfig,
+    config: ExperimentConfig,
+    base_jobs: list[Job] | None = None,
+    order: tuple[str, ...] = ("sampled", "real", "synthetic"),
+) -> TrainingResult | None:
+    """Curriculum-train a scheduler if it is trainable; no-op otherwise.
+
+    Training workloads are built on the same system with the same
+    workload transformation as evaluation (S-series requests), using
+    independent RNG streams so train/test traces differ.
+    """
+    if not hasattr(scheduler, "finish_episode"):
+        return None
+    rng = as_generator(config.seed + 17)
+    base_jobs = base_jobs or prepare_base_trace(config, n_jobs=config.jobs_per_trainset * 3)
+    n_sampled, n_real, n_synth = config.curriculum_sets
+    curriculum = build_curriculum(
+        base_jobs,
+        config.trace_config(config.jobs_per_trainset),
+        n_sampled=n_sampled,
+        n_real=n_real,
+        n_synthetic=n_synth,
+        jobs_per_set=config.jobs_per_trainset,
+        seed=rng,
+    )
+    # Apply the workload transformation (BB/power requests) to every
+    # training set so the agent trains on the resource mix it will face.
+    workload_rngs = spawn_generators(rng, sum(len(v) for v in curriculum.values()))
+    i = 0
+    for phase, sets in curriculum.items():
+        transformed = []
+        for jobset in sets:
+            transformed.append(_training_workload(jobset, system, workload_rngs[i]))
+            i += 1
+        curriculum[phase] = transformed
+    return curriculum_training(scheduler, curriculum, system, order=order)
+
+
+def _training_workload(jobset: list[Job], system: SystemConfig, rng) -> list[Job]:
+    """Mid-ladder (S3-like) requests for training: balanced contention."""
+    from repro.cluster.resources import POWER
+
+    if POWER in system.names:
+        jobs, _ = build_case_study_workload("S8", jobset, _without_power(system), seed=rng)
+        return jobs
+    return build_workload("S3", jobset, system, seed=rng)
+
+
+def _without_power(system: SystemConfig) -> SystemConfig:
+    from repro.cluster.resources import POWER
+
+    return SystemConfig(tuple(r for r in system.resources if r.name != POWER))
+
+
+def run_comparison(
+    workloads: list[str],
+    methods: list[str] | None = None,
+    config: ExperimentConfig | None = None,
+    case_study: bool = False,
+    train: bool = True,
+) -> dict[str, dict[str, MetricReport]]:
+    """Run the (method × workload) grid behind Figs 5–7 / 10.
+
+    Returns ``{workload: {method: MetricReport}}``. Trainable methods are
+    curriculum-trained once and reused across workloads (matching the
+    paper: one trained agent evaluated on S1–S5).
+    """
+    config = config or ExperimentConfig()
+    methods = list(methods or PAPER_METHODS)
+    base = prepare_base_trace(config)
+    system = config.system()
+    if case_study:
+        # Any case-study spec extends the system identically.
+        _, powered = build_case_study_workload("S6", base, system, seed=config.seed)
+        eval_system = powered
+    else:
+        eval_system = system
+
+    schedulers: dict[str, Scheduler] = {}
+    for name in methods:
+        sched = make_method(name, eval_system, config)
+        train_method(sched, eval_system, config) if train else None
+        schedulers[name] = sched
+
+    results: dict[str, dict[str, MetricReport]] = {}
+    for workload in workloads:
+        if case_study:
+            jobs, _ = build_case_study_workload(workload, base, system, seed=config.seed)
+        else:
+            jobs = build_workload(workload, base, eval_system, seed=config.seed)
+        results[workload] = {}
+        for name, sched in schedulers.items():
+            sim = Simulator(eval_system, sched)
+            results[workload][name] = sim.run(jobs).metrics
+    return results
+
+
+def run_single(
+    workload: str,
+    method: str,
+    config: ExperimentConfig | None = None,
+    train: bool = True,
+) -> tuple[SimulationResult, Scheduler]:
+    """Run one (method, workload) pair; returns (result, scheduler).
+
+    The scheduler is returned so callers can read agent internals — the
+    goal-vector log behind Figs 8–9 in particular.
+    """
+    config = config or ExperimentConfig()
+    system = config.system()
+    base = prepare_base_trace(config)
+    jobs = build_workload(workload, base, system, seed=config.seed)
+    sched = make_method(method, system, config)
+    if train:
+        train_method(sched, system, config)
+    result = Simulator(system, sched).run(jobs)
+    return result, sched

@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents bar charts, line plots, box plots and Kiviat charts;
+in a library context the equivalent deliverable is the underlying rows
+and series, printed as aligned ASCII tables that the benchmark harness
+emits alongside the raw data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_boxstats"]
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Mapping[str, Sequence[float]],
+    precision: int = 3,
+) -> str:
+    """Render ``{row label: values}`` as an aligned table."""
+    header = ["" , *columns]
+    body = [
+        [label, *(f"{v:.{precision}f}" if isinstance(v, float) else str(v) for v in values)]
+        for label, values in rows.items()
+    ]
+    widths = [max(len(r[i]) for r in [header, *body]) for i in range(len(header))]
+    lines = [title, "-" * len(title)]
+    for row in [header, *body]:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Mapping[str, Sequence[float]],
+    precision: int = 4,
+    max_points: int = 12,
+) -> str:
+    """Render named numeric series, subsampled to ``max_points``."""
+    lines = [title, "-" * len(title)]
+    for name, values in series.items():
+        values = list(values)
+        if len(values) > max_points:
+            step = max(1, len(values) // max_points)
+            shown = values[::step][:max_points]
+            suffix = f"  (… {len(values)} points)"
+        else:
+            shown, suffix = values, ""
+        rendered = ", ".join(f"{v:.{precision}f}" for v in shown)
+        lines.append(f"{name}: [{rendered}]{suffix}")
+    return "\n".join(lines)
+
+
+def format_boxstats(
+    title: str,
+    stats: Mapping[str, Mapping[str, float]],
+    precision: int = 3,
+) -> str:
+    """Render box-plot statistics (min/q1/median/q3/max) per label."""
+    keys = ("min", "q1", "median", "q3", "max")
+    rows = {label: [s[k] for k in keys] for label, s in stats.items()}
+    return format_table(title, list(keys), rows, precision=precision)

@@ -1,0 +1,69 @@
+"""Sequential container chaining layers into a network."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A feed-forward chain of layers.
+
+    Exposes the same ``forward``/``backward`` protocol as a single layer
+    so chains can be composed into multi-branch architectures (the DFP
+    network composes three input branches plus two output streams).
+    """
+
+    def __init__(self, layers: list[Layer] | None = None) -> None:
+        self.layers: list[Layer] = list(layers or [])
+
+    def add(self, layer: Layer) -> "Sequential":
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for layer in self.layers for p in layer.params.values())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat ``{layerIdx.name: array}`` mapping of parameter copies."""
+        return {
+            f"{li}.{name}": param.copy()
+            for li, layer in enumerate(self.layers)
+            for name, param in layer.params.items()
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for li, layer in enumerate(self.layers):
+            for name, param in layer.params.items():
+                key = f"{li}.{name}"
+                if key not in state:
+                    raise KeyError(f"missing parameter {key}")
+                if state[key].shape != param.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: {state[key].shape} vs {param.shape}"
+                    )
+                param[...] = state[key]
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def __len__(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,139 @@
+"""First-order optimizers operating on layer parameter dicts.
+
+An optimizer is bound to a list of layers; ``step()`` consumes the
+gradients accumulated in each layer's ``grads`` dict and updates the
+matching entry in ``params`` in place (in-place updates keep the arrays
+shared with any serialisation references, per the HPC guide's
+"in-place operations" idiom).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["Optimizer", "SGD", "Momentum", "RMSProp", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer; subclasses implement :meth:`_update`."""
+
+    def __init__(self, layers: list[Layer], lr: float = 1e-3) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.layers = list(layers)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def step(self) -> None:
+        for li, layer in enumerate(self.layers):
+            for name, param in layer.params.items():
+                self._update(f"{li}.{name}", param, layer.grads[name])
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def clip_gradients(self, max_norm: float) -> float:
+        """Global-norm gradient clipping; returns the pre-clip norm."""
+        if max_norm <= 0:
+            raise ValueError("max_norm must be positive")
+        total = 0.0
+        for layer in self.layers:
+            for grad in layer.grads.values():
+                total += float((grad**2).sum())
+        norm = float(np.sqrt(total))
+        if norm > max_norm:
+            scale = max_norm / (norm + 1e-12)
+            for layer in self.layers:
+                for grad in layer.grads.values():
+                    grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        param -= self.lr * grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, layers: list[Layer], lr: float = 1e-3, momentum: float = 0.9) -> None:
+        super().__init__(layers, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        vel = self._velocity.setdefault(key, np.zeros_like(param))
+        vel *= self.momentum
+        vel -= self.lr * grad
+        param += vel
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially-decayed squared-gradient scaling."""
+
+    def __init__(
+        self,
+        layers: list[Layer],
+        lr: float = 1e-3,
+        decay: float = 0.99,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(layers, lr)
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.decay = decay
+        self.eps = eps
+        self._cache: dict[str, np.ndarray] = {}
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        cache = self._cache.setdefault(key, np.zeros_like(param))
+        cache *= self.decay
+        cache += (1.0 - self.decay) * grad**2
+        param -= self.lr * grad / (np.sqrt(cache) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        layers: list[Layer],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(layers, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        super().step()
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        m = self._m.setdefault(key, np.zeros_like(param))
+        v = self._v.setdefault(key, np.zeros_like(param))
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad**2
+        m_hat = m / (1.0 - self.beta1**self._t)
+        v_hat = v / (1.0 - self.beta2**self._t)
+        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,28 @@
+"""Parameter serialisation to/from ``.npz`` archives.
+
+A trained MRSch agent can be checkpointed and later restored for
+inference-only deployment (the paper trains offline and deploys the
+frozen policy).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["save_params", "load_params"]
+
+
+def save_params(path: str | os.PathLike, state: dict[str, np.ndarray]) -> None:
+    """Write a flat parameter dict to ``path`` (``.npz``).
+
+    Keys may contain dots; they are preserved verbatim.
+    """
+    np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def load_params(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Read a parameter dict previously written by :func:`save_params`."""
+    with np.load(path) as data:
+        return {k: data[k].copy() for k in data.files}

@@ -1,0 +1,198 @@
+"""Scheduler interface and the shared §III-C starvation-avoidance loop.
+
+Every policy — the FCFS heuristic, the GA optimizer, scalar RL, and
+MRSch — runs inside the same scheduling-instance machinery:
+
+1. a **window** exposes the ``window_size`` oldest waiting jobs (older
+   jobs get priority, alleviating starvation),
+2. the policy repeatedly **selects** one window job; fitting selections
+   start immediately (the window re-fills and the system state the
+   policy observes is updated between selections),
+3. the first selected job that does *not* fit becomes the
+   **reservation** — its resources are held via a shadow time so it
+   starts at the earliest estimated opportunity,
+4. **EASY backfilling** then moves later queued jobs ahead iff they do
+   not delay the reservation (Mu'alem & Feitelson).
+
+Policies implement :meth:`Scheduler.select`; everything else is shared.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.cluster.resources import ResourcePool, SystemConfig
+from repro.workload.job import Job
+
+__all__ = ["SchedulingContext", "Scheduler", "WindowPolicyScheduler"]
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a policy may observe and the one action it may take.
+
+    ``start`` is provided by the simulator: it allocates resources,
+    stamps the job's start time and schedules its end event. Policies
+    must start jobs only through the machinery in :class:`Scheduler`.
+    """
+
+    now: float
+    queue: list[Job]
+    pool: ResourcePool
+    system: SystemConfig
+    start: Callable[[Job], None]
+    #: jobs currently executing (needed by Eq. 1's contention terms)
+    running: list[Job] = field(default_factory=list)
+    #: jobs started during this instance (filled by the scheduler loop)
+    started: list[Job] = field(default_factory=list)
+
+
+class Scheduler(ABC):
+    """Base scheduler implementing the §III-C instance loop."""
+
+    name = "base"
+
+    def __init__(self, window_size: int = 10, backfill: bool = True) -> None:
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        self.window_size = window_size
+        self.backfill_enabled = backfill
+        #: job currently holding a reservation (head-of-queue protection)
+        self.reserved_job: Job | None = None
+
+    # -- policy hooks -----------------------------------------------------
+
+    @abstractmethod
+    def select(self, window: list[Job], ctx: SchedulingContext) -> Job | None:
+        """Pick the next job from ``window`` (None = stop selecting)."""
+
+    def begin_instance(self, ctx: SchedulingContext) -> None:
+        """Called once per scheduling instance before any selection."""
+
+    def end_instance(self, ctx: SchedulingContext) -> None:
+        """Called once per scheduling instance after backfilling."""
+
+    def reset(self) -> None:
+        """Clear episode state; called by the simulator before a run."""
+        self.reserved_job = None
+
+    # -- the shared instance loop ------------------------------------------
+
+    def schedule(self, ctx: SchedulingContext) -> None:
+        """Run one scheduling instance (§III-C)."""
+        self.begin_instance(ctx)
+        self._clear_stale_reservation(ctx)
+        self._selection_loop(ctx)
+        if self.backfill_enabled and self.reserved_job is not None:
+            self._easy_backfill(ctx)
+        self.end_instance(ctx)
+
+    def _clear_stale_reservation(self, ctx: SchedulingContext) -> None:
+        """Start (or drop) a previous instance's reservation first.
+
+        The reserved job keeps absolute priority: if its resources are
+        now available it starts before anything else is considered.
+        """
+        job = self.reserved_job
+        if job is None:
+            return
+        if job not in ctx.queue:
+            self.reserved_job = None
+            return
+        if ctx.pool.can_fit(job):
+            self._start(job, ctx)
+            self.reserved_job = None
+
+    def _selection_loop(self, ctx: SchedulingContext) -> None:
+        if self.reserved_job is not None:
+            # An unsatisfied reservation blocks new head-of-queue
+            # selections; only backfilling may proceed.
+            return
+        while True:
+            window = [j for j in ctx.queue if not j.started][: self.window_size]
+            if not window:
+                return
+            job = self.select(window, ctx)
+            if job is None:
+                return
+            if job not in window:
+                raise RuntimeError(
+                    f"{self.name}: selected job {job.job_id} outside the window"
+                )
+            if ctx.pool.can_fit(job):
+                self._start(job, ctx)
+            else:
+                self.reserved_job = job
+                return
+
+    def _start(self, job: Job, ctx: SchedulingContext) -> None:
+        ctx.start(job)
+        ctx.started.append(job)
+        ctx.queue.remove(job)
+
+    # -- EASY backfilling ------------------------------------------------------
+
+    def _easy_backfill(self, ctx: SchedulingContext) -> None:
+        """Move later jobs ahead iff they cannot delay the reservation.
+
+        Multi-resource EASY: the *shadow time* is the estimated earliest
+        instant the reserved job fits (per-resource k-th order statistic
+        of estimated unit free times); the per-resource *spare* units are
+        what remains free at the shadow time after the reservation is
+        placed. A candidate may backfill if it fits now and either (a)
+        its walltime ends before the shadow time, or (b) it consumes only
+        spare units.
+        """
+        reserved = self.reserved_job
+        assert reserved is not None
+        shadow = ctx.pool.earliest_fit_time(reserved, ctx.now)
+        spare = {
+            name: ctx.pool.free_units_at(name, shadow, ctx.now) - reserved.request(name)
+            for name in ctx.system.names
+        }
+        for job in list(ctx.queue):
+            if job is reserved or job.started:
+                continue
+            if not ctx.pool.can_fit(job):
+                continue
+            ends_before_shadow = ctx.now + job.walltime <= shadow
+            fits_spare = all(
+                job.request(name) <= spare[name] for name in ctx.system.names
+            )
+            if ends_before_shadow or fits_spare:
+                self._start(job, ctx)
+                if not ends_before_shadow:
+                    for name in ctx.system.names:
+                        spare[name] -= job.request(name)
+
+
+class WindowPolicyScheduler(Scheduler):
+    """Scheduler whose policy is a per-instance *ordering* of the window.
+
+    FCFS and the GA optimizer decide a full ordering once per instance;
+    this adapter caches the ordering and serves it one job at a time
+    through :meth:`select`, re-validating against the live window.
+    """
+
+    def __init__(self, window_size: int = 10, backfill: bool = True) -> None:
+        super().__init__(window_size=window_size, backfill=backfill)
+        self._ordering: list[Job] = []
+
+    @abstractmethod
+    def rank(self, window: list[Job], ctx: SchedulingContext) -> list[Job]:
+        """Return the window jobs in the order they should be started."""
+
+    def begin_instance(self, ctx: SchedulingContext) -> None:
+        window = [j for j in ctx.queue if not j.started][: self.window_size]
+        self._ordering = self.rank(window, ctx) if window else []
+
+    def select(self, window: list[Job], ctx: SchedulingContext) -> Job | None:
+        while self._ordering:
+            job = self._ordering.pop(0)
+            if job in window:
+                return job
+        # Ordering exhausted: fall back to queue order for jobs that
+        # rotated into the window after earlier starts.
+        return window[0] if window else None

@@ -1,0 +1,26 @@
+"""The *Heuristic* baseline: FCFS extended to multiple resources.
+
+The paper's heuristic comparator (§IV-D) is an extension of
+first-come-first-serve belonging to the list-scheduling family: jobs are
+started strictly in arrival order; the first job whose full
+multi-resource request cannot be met is reserved, and EASY backfilling
+(inherited from :class:`~repro.sched.base.Scheduler`) fills the gaps.
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import SchedulingContext, WindowPolicyScheduler
+from repro.workload.job import Job
+
+__all__ = ["FCFSScheduler"]
+
+
+class FCFSScheduler(WindowPolicyScheduler):
+    """FCFS list scheduling over all schedulable resources."""
+
+    name = "fcfs"
+
+    def rank(self, window: list[Job], ctx: SchedulingContext) -> list[Job]:
+        # The queue (and therefore the window) is maintained in
+        # submission order — FCFS is the identity ranking.
+        return list(window)

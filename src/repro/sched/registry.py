@@ -1,0 +1,46 @@
+"""Scheduler factory keyed by the paper's method names."""
+
+from __future__ import annotations
+
+from repro.cluster.resources import SystemConfig
+from repro.sched.base import Scheduler
+from repro.sched.fcfs import FCFSScheduler
+from repro.sched.ga import GAScheduler
+from repro.sched.scalar_rl import ScalarRLScheduler
+
+__all__ = ["make_scheduler", "available_schedulers"]
+
+_METHODS = ("heuristic", "optimization", "scalar_rl", "mrsch")
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Names accepted by :func:`make_scheduler` (paper §IV-D methods)."""
+    return _METHODS
+
+
+def make_scheduler(
+    name: str,
+    system: SystemConfig,
+    window_size: int = 10,
+    seed: int | None = None,
+    **kwargs,
+) -> Scheduler:
+    """Instantiate a comparison method by its paper name.
+
+    ``heuristic`` → FCFS list scheduling, ``optimization`` → NSGA-II,
+    ``scalar_rl`` → fixed-weight REINFORCE, ``mrsch`` → the DFP agent.
+    Extra keyword arguments are forwarded to the scheduler constructor.
+    """
+    key = name.lower()
+    if key == "heuristic":
+        return FCFSScheduler(window_size=window_size, **kwargs)
+    if key == "optimization":
+        return GAScheduler(window_size=window_size, seed=seed, **kwargs)
+    if key == "scalar_rl":
+        return ScalarRLScheduler(system, window_size=window_size, seed=seed, **kwargs)
+    if key == "mrsch":
+        # Imported lazily: repro.core depends on repro.sched.base.
+        from repro.core.mrsch import MRSchScheduler
+
+        return MRSchScheduler(system, window_size=window_size, seed=seed, **kwargs)
+    raise KeyError(f"unknown scheduler {name!r}; choose from {_METHODS}")

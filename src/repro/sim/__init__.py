@@ -1,0 +1,36 @@
+"""Event-driven trace simulator (CQSim re-implementation).
+
+The paper evaluates every scheduler inside CQSim, a trace-based,
+event-driven HPC scheduling simulator: jobs are imported from a trace,
+the clock advances between events, and queue/system changes trigger
+scheduling requests to the policy under test (§IV). This package
+re-implements those semantics:
+
+``events``
+    Typed events and a deterministic binary-heap event queue.
+``simulator``
+    The engine: submit/end event processing, scheduler invocation,
+    job start bookkeeping.
+``metrics``
+    Paper §IV-B metrics (node/BB utilization, average wait, average
+    slowdown), power metrics for §V-E, and Kiviat normalization (Fig 7).
+``recorder``
+    Timeline recording of measurements and goal vectors (Figs 8–9).
+"""
+
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.metrics import MetricReport, compute_metrics, kiviat_normalize
+from repro.sim.recorder import TimelineRecorder
+from repro.sim.simulator import SimulationResult, Simulator
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Simulator",
+    "SimulationResult",
+    "MetricReport",
+    "compute_metrics",
+    "kiviat_normalize",
+    "TimelineRecorder",
+]

@@ -1,0 +1,80 @@
+"""Typed simulation events and a deterministic event queue.
+
+Events are ordered by ``(time, kind priority, sequence)``: ends sort
+before submits at equal timestamps (so resources freed by a finishing
+job are visible to a simultaneously arriving one), and the insertion
+sequence breaks remaining ties deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.workload.job import Job
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(IntEnum):
+    """Event types, ordered by processing priority at equal times."""
+
+    END = 0
+    SUBMIT = 1
+
+
+@dataclass(frozen=True)
+class Event:
+    time: float
+    kind: EventKind
+    job: Job = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("event time must be non-negative")
+
+
+class EventQueue:
+    """Binary-heap event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.time, int(event.kind), self._seq, event))
+        self._seq += 1
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)[3]
+
+    def peek(self) -> Event:
+        if not self._heap:
+            raise IndexError("peek at empty event queue")
+        return self._heap[0][3]
+
+    def peek_time(self) -> float:
+        return self._heap[0][0]
+
+    def pop_simultaneous(self) -> list[Event]:
+        """Pop every event sharing the head timestamp, in priority order.
+
+        The simulator processes all state changes at one instant before
+        invoking the scheduler once — matching CQSim's trigger model.
+        """
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        t = self._heap[0][0]
+        batch = []
+        while self._heap and self._heap[0][0] == t:
+            batch.append(heapq.heappop(self._heap)[3])
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,160 @@
+"""Scheduling-quality metrics (paper §IV-B) and Kiviat normalization.
+
+System-level metrics:
+
+1. **Node utilization** — used node-hours during useful job execution
+   over elapsed node-hours.
+2. **Burst-buffer utilization** — used burst-buffer-hours over elapsed
+   burst-buffer-hours.
+
+User-level metrics:
+
+3. **Average job wait time** — submission → start interval.
+4. **Average job slowdown** — response time (wait + runtime) over
+   runtime.
+
+The §V-E case study adds **average system power** (mean power draw of
+running jobs). :func:`kiviat_normalize` maps a set of methods onto the
+[0, 1] radar axes of Figs 7/10 (1 = best method on that axis; wait and
+slowdown enter as reciprocals so larger is always better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.resources import BURST_BUFFER, NODE, POWER, SystemConfig
+from repro.sim.recorder import TimelineRecorder
+from repro.workload.job import Job
+
+__all__ = ["MetricReport", "compute_metrics", "kiviat_normalize"]
+
+
+@dataclass
+class MetricReport:
+    """Aggregate metrics for one (scheduler, workload) run.
+
+    ``utilization`` maps every resource to its job-based utilization;
+    ``node_util``/``bb_util`` are convenience views of the two the paper
+    plots. Times are in seconds; the report helpers convert to hours.
+    """
+
+    utilization: dict[str, float]
+    avg_wait: float
+    avg_slowdown: float
+    max_wait: float
+    p95_slowdown: float
+    makespan: float
+    n_jobs: int
+    avg_power_units: float = 0.0
+
+    node_util: float = field(init=False)
+    bb_util: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.node_util = self.utilization.get(NODE, 0.0)
+        self.bb_util = self.utilization.get(BURST_BUFFER, 0.0)
+
+    @property
+    def avg_wait_hours(self) -> float:
+        return self.avg_wait / 3600.0
+
+    def as_dict(self) -> dict[str, float]:
+        out = {
+            "node_util": self.node_util,
+            "bb_util": self.bb_util,
+            "avg_wait_h": self.avg_wait_hours,
+            "avg_slowdown": self.avg_slowdown,
+        }
+        if self.avg_power_units:
+            out["avg_power_units"] = self.avg_power_units
+        return out
+
+
+def compute_metrics(
+    jobs: list[Job],
+    system: SystemConfig,
+    recorder: TimelineRecorder | None = None,
+) -> MetricReport:
+    """Compute the §IV-B metrics over a finished job list."""
+    finished = [j for j in jobs if j.finished]
+    if not finished:
+        return MetricReport(
+            utilization={name: 0.0 for name in system.names},
+            avg_wait=0.0,
+            avg_slowdown=0.0,
+            max_wait=0.0,
+            p95_slowdown=0.0,
+            makespan=0.0,
+            n_jobs=0,
+        )
+    t0 = min(j.submit_time for j in finished)
+    t_end = max(j.end_time for j in finished)  # type: ignore[type-var]
+    span = max(t_end - t0, 1e-9)
+
+    utilization: dict[str, float] = {}
+    for name in system.names:
+        used = sum(j.request(name) * j.runtime for j in finished)
+        utilization[name] = used / (system.capacity(name) * span)
+
+    waits = np.array([j.wait_time for j in finished])
+    slowdowns = np.array([j.slowdown for j in finished])
+
+    avg_power = 0.0
+    if POWER in system.names:
+        # Mean power draw of running jobs over the whole span, in units.
+        avg_power = sum(j.request(POWER) * j.runtime for j in finished) / span
+
+    return MetricReport(
+        utilization=utilization,
+        avg_wait=float(waits.mean()),
+        avg_slowdown=float(slowdowns.mean()),
+        max_wait=float(waits.max()),
+        p95_slowdown=float(np.percentile(slowdowns, 95)),
+        makespan=span,
+        n_jobs=len(finished),
+        avg_power_units=avg_power,
+    )
+
+
+def kiviat_normalize(
+    reports: dict[str, MetricReport],
+    include_power: bool = False,
+) -> dict[str, dict[str, float]]:
+    """Normalize methods onto [0, 1] radar axes (Figs 7/10).
+
+    Axes: node utilization, BB utilization, 1/avg wait, 1/avg slowdown,
+    and (optionally) average system power. Each axis is divided by the
+    best method's value so the best method scores 1.0.
+    """
+    if not reports:
+        return {}
+
+    def axes(r: MetricReport) -> dict[str, float]:
+        out = {
+            "node_util": r.node_util,
+            "bb_util": r.bb_util,
+            "inv_avg_wait": 1.0 / r.avg_wait if r.avg_wait > 0 else np.inf,
+            "inv_avg_slowdown": 1.0 / r.avg_slowdown if r.avg_slowdown > 0 else np.inf,
+        }
+        if include_power:
+            out["avg_sys_power"] = r.avg_power_units
+        return out
+
+    raw = {method: axes(r) for method, r in reports.items()}
+    axis_names = next(iter(raw.values())).keys()
+    normalized: dict[str, dict[str, float]] = {m: {} for m in raw}
+    for axis in axis_names:
+        values = {m: v[axis] for m, v in raw.items()}
+        finite = [v for v in values.values() if np.isfinite(v)]
+        best = max(finite) if finite else 1.0
+        for method, value in values.items():
+            if not np.isfinite(value):
+                normalized[method][axis] = 1.0
+            elif best <= 0:
+                normalized[method][axis] = 0.0
+            else:
+                normalized[method][axis] = float(value / best)
+    return normalized

@@ -1,0 +1,72 @@
+"""Timeline recording of utilization and goal-vector samples.
+
+The comparison figures need more than end-of-run aggregates: Fig. 8
+plots the burst-buffer goal weight over a 12-hour window and Fig. 9 its
+distribution per workload. The recorder stores step-function samples —
+values are constant between simulation events, so time-weighted
+integrals are exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TimelineRecorder"]
+
+
+class TimelineRecorder:
+    """Collects (time, vector) samples for utilization and goal values."""
+
+    def __init__(self) -> None:
+        self._util_times: list[float] = []
+        self._util_values: list[np.ndarray] = []
+        self._goal_times: list[float] = []
+        self._goal_values: list[np.ndarray] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record_utilization(self, time: float, utilization: np.ndarray) -> None:
+        self._util_times.append(time)
+        self._util_values.append(np.asarray(utilization, dtype=float).copy())
+
+    def record_goal(self, time: float, goal: np.ndarray) -> None:
+        self._goal_times.append(time)
+        self._goal_values.append(np.asarray(goal, dtype=float).copy())
+
+    # -- retrieval ---------------------------------------------------------
+
+    @property
+    def utilization_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) arrays; values has shape (T, n_resources)."""
+        if not self._util_times:
+            return np.zeros(0), np.zeros((0, 0))
+        return np.asarray(self._util_times), np.vstack(self._util_values)
+
+    @property
+    def goal_series(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self._goal_times:
+            return np.zeros(0), np.zeros((0, 0))
+        return np.asarray(self._goal_times), np.vstack(self._goal_values)
+
+    def goal_window(self, t_start: float, t_end: float) -> tuple[np.ndarray, np.ndarray]:
+        """Goal samples within ``[t_start, t_end]`` (Fig. 8 windows)."""
+        if t_end < t_start:
+            raise ValueError("t_end must be >= t_start")
+        times, values = self.goal_series
+        if times.size == 0:
+            return times, values
+        mask = (times >= t_start) & (times <= t_end)
+        return times[mask], values[mask]
+
+    def time_weighted_mean_utilization(self) -> np.ndarray:
+        """Exact time-weighted mean of the utilization step function."""
+        times, values = self.utilization_series
+        if times.size == 0:
+            return np.zeros(0)
+        if times.size == 1:
+            return values[0]
+        dt = np.diff(times)
+        span = times[-1] - times[0]
+        if span <= 0:
+            return values.mean(axis=0)
+        return (values[:-1] * dt[:, None]).sum(axis=0) / span

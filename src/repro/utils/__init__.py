@@ -1,0 +1,5 @@
+"""Shared utilities: deterministic RNG handling and small helpers."""
+
+from repro.utils.rng import as_generator, spawn_generators
+
+__all__ = ["as_generator", "spawn_generators"]

@@ -1,0 +1,38 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the library accepts either an integer seed,
+``None`` (fresh entropy) or an existing :class:`numpy.random.Generator`.
+This module centralises the coercion so behaviour is reproducible and no
+module ever touches NumPy's legacy global RNG state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged, so components can
+    share one stream when the caller wants correlated sampling.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Uses :meth:`numpy.random.Generator.spawn` semantics via ``SeedSequence``
+    so child streams are statistically independent and reproducible.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(n)]
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]

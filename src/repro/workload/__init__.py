@@ -1,0 +1,53 @@
+"""Workload substrate: job model, trace parsing/generation, paper suites.
+
+The paper evaluates on a five-month 2018 Theta (ALCF) trace extended with
+burst-buffer requests mined from Darshan I/O logs, and derives workloads
+S1–S5 (Table III) plus power-extended S6–S10 (§V-E). This package builds
+each of those pieces:
+
+``job``
+    The :class:`Job` model — rigid parallel jobs with per-resource
+    requests in units.
+``swf``
+    Standard Workload Format parser/writer for plugging in real traces.
+``theta``
+    Statistical Theta-like trace generator (diurnal Poisson arrivals,
+    heavy-tailed runtimes, power-of-two-biased node counts).
+``darshan``
+    Synthetic Darshan I/O record generation and the record→burst-buffer
+    request extraction the paper describes (§IV-A).
+``suites``
+    Table III S1–S5 builders and the §V-E power case-study S6–S10.
+``sampling``
+    Curriculum job sets (sampled / real / synthetic) for §III-D training.
+"""
+
+from repro.workload.darshan import DarshanRecord, extract_bb_requests, generate_darshan_records
+from repro.workload.job import Job
+from repro.workload.sampling import build_curriculum, poisson_resample, split_trace
+from repro.workload.suites import (
+    WORKLOAD_SPECS,
+    WorkloadSpec,
+    build_case_study_workload,
+    build_workload,
+)
+from repro.workload.swf import parse_swf, write_swf
+from repro.workload.theta import ThetaTraceConfig, generate_theta_trace
+
+__all__ = [
+    "Job",
+    "parse_swf",
+    "write_swf",
+    "ThetaTraceConfig",
+    "generate_theta_trace",
+    "DarshanRecord",
+    "generate_darshan_records",
+    "extract_bb_requests",
+    "WorkloadSpec",
+    "WORKLOAD_SPECS",
+    "build_workload",
+    "build_case_study_workload",
+    "poisson_resample",
+    "split_trace",
+    "build_curriculum",
+]

@@ -1,0 +1,91 @@
+"""The Fig. 1 motivating example.
+
+Four jobs with complementary two-resource demands, all submitted at
+time 0, one-hour runtimes. The fixed-priority ordering (J2, J3) first
+needs three hours; the contention-aware ordering (J1, J3) then (J2, J4)
+finishes in two — the gap MRSch's dynamic goal vector is built to close.
+"""
+
+import pytest
+
+from repro.cluster.resources import NODE, ResourceSpec, SystemConfig
+from repro.sched.fcfs import FCFSScheduler
+from repro.sim.simulator import Simulator
+from repro.workload.job import Job
+
+HOUR = 3600.0
+
+# Demands as percentage of each resource's capacity (units of 10).
+FIG1_DEMANDS = {
+    "J1": (6, 3),
+    "J2": (5, 5),
+    "J3": (4, 5),
+    "J4": (5, 4),
+}
+
+
+def fig1_system() -> SystemConfig:
+    return SystemConfig(
+        resources=(ResourceSpec("A", 10), ResourceSpec("B", 10))
+    )
+
+
+def fig1_jobs(order: list[str]) -> list[Job]:
+    """All jobs at t=0; queue order fixed by submit-time microseconds."""
+    jobs = []
+    for i, name in enumerate(order):
+        a, b = FIG1_DEMANDS[name]
+        jobs.append(
+            Job(
+                job_id=i + 1,
+                submit_time=i * 1e-3,  # fix FCFS order
+                runtime=HOUR,
+                walltime=HOUR,
+                requests={"A": a, "B": b},
+            )
+        )
+    return jobs
+
+
+def makespan(order: list[str]) -> float:
+    system = fig1_system()
+    sched = FCFSScheduler(window_size=4, backfill=True)
+    result = Simulator(system, sched).run(fig1_jobs(order))
+    return result.makespan
+
+
+def test_fixed_weight_order_needs_three_hours():
+    """(J2, J3) first — the equal-weight utilization choice — strands J1
+    and J4 into separate hours."""
+    assert makespan(["J2", "J3", "J1", "J4"]) == pytest.approx(3 * HOUR, rel=1e-6)
+
+
+def test_ideal_order_needs_two_hours():
+    """(J1, J3), (J2, J4) packs both resources perfectly."""
+    assert makespan(["J1", "J3", "J2", "J4"]) == pytest.approx(2 * HOUR, rel=1e-6)
+
+
+def test_fixed_weight_prefers_the_bad_pair():
+    """The static equal-weight objective indeed scores (J2, J3) at least
+    as high as (J1, J3) at t=0 — the trap in Fig. 1."""
+
+    def mean_util(pair):
+        used_a = sum(FIG1_DEMANDS[j][0] for j in pair)
+        used_b = sum(FIG1_DEMANDS[j][1] for j in pair)
+        return 0.5 * used_a / 10 + 0.5 * used_b / 10
+
+    assert mean_util(("J2", "J3")) >= mean_util(("J1", "J3"))
+
+
+def test_goal_vector_detects_resource_b_pressure():
+    """Eq. 1 on the Fig. 1 queue weights resource B higher — total B
+    demand (17) exceeds A (20 vs 17 … A is higher here), so verify the
+    exact Eq. 1 value instead of a direction guess."""
+    from repro.core.goal import goal_vector
+
+    jobs = fig1_jobs(["J1", "J2", "J3", "J4"])
+    g = goal_vector(jobs, [], fig1_system(), now=0.0)
+    total_a = sum(d[0] for d in FIG1_DEMANDS.values()) / 10
+    total_b = sum(d[1] for d in FIG1_DEMANDS.values()) / 10
+    assert g[0] == pytest.approx(total_a / (total_a + total_b))
+    assert g[1] == pytest.approx(total_b / (total_a + total_b))

@@ -1,0 +1,235 @@
+"""Tests for the shared scheduling machinery: window, reservation, EASY
+backfilling (§III-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.resources import NODE, ResourcePool, ResourceSpec, SystemConfig
+from repro.sched.base import Scheduler, SchedulingContext
+from repro.sched.fcfs import FCFSScheduler
+from repro.sim.simulator import Simulator
+from tests.conftest import make_job
+
+
+class RecordingFCFS(FCFSScheduler):
+    """FCFS that logs which jobs it selected (for window assertions)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.selections = []
+
+    def select(self, window, ctx):
+        job = super().select(window, ctx)
+        if job is not None:
+            self.selections.append(job.job_id)
+        return job
+
+
+def make_ctx(system, pool, queue, now=0.0, running=None):
+    started = []
+
+    def start(job):
+        pool.allocate(job, now)
+        job.start_time = now
+
+    return SchedulingContext(
+        now=now, queue=queue, pool=pool, system=system,
+        start=start, running=running or [], started=started,
+    )
+
+
+@pytest.fixture
+def node_only_system():
+    return SystemConfig(resources=(ResourceSpec(NODE, 10),))
+
+
+def njob(job_id, nodes, submit=0.0, runtime=100.0, walltime=None):
+    job = make_job(job_id=job_id, submit=submit, runtime=runtime,
+                   walltime=walltime, nodes=nodes)
+    job.requests.pop("burst_buffer")
+    return job
+
+
+class TestWindow:
+    def test_invalid_window_size(self):
+        with pytest.raises(ValueError):
+            FCFSScheduler(window_size=0)
+
+    def test_selection_restricted_to_window(self, node_only_system):
+        pool = ResourcePool(node_only_system)
+        queue = [njob(i, nodes=1) for i in range(1, 8)]
+        sched = RecordingFCFS(window_size=3, backfill=False)
+        sched.schedule(make_ctx(node_only_system, pool, queue))
+        # All seven 1-node jobs fit; window refills as jobs start.
+        assert sched.selections == list(range(1, 8))
+
+    def test_selecting_outside_window_rejected(self, node_only_system):
+        class Rogue(Scheduler):
+            name = "rogue"
+
+            def select(self, window, ctx):
+                return ctx.queue[-1]  # beyond the window
+
+        pool = ResourcePool(node_only_system)
+        queue = [njob(i, nodes=1) for i in range(1, 6)]
+        sched = Rogue(window_size=2, backfill=False)
+        with pytest.raises(RuntimeError, match="outside the window"):
+            sched.schedule(make_ctx(node_only_system, pool, queue))
+
+
+class TestReservation:
+    def test_first_nonfitting_job_reserved(self, node_only_system):
+        pool = ResourcePool(node_only_system)
+        queue = [njob(1, nodes=8), njob(2, nodes=8), njob(3, nodes=1)]
+        sched = FCFSScheduler(window_size=5, backfill=False)
+        sched.schedule(make_ctx(node_only_system, pool, queue))
+        assert queue[0].job_id == 2  # job 1 started, removed from queue
+        assert sched.reserved_job is queue[0]
+        # Job 3 fits but must not start without backfilling.
+        assert queue[1].start_time is None
+
+    def test_reservation_starts_when_possible(self, node_only_system):
+        pool = ResourcePool(node_only_system)
+        blocker = njob(1, nodes=8)
+        reserved = njob(2, nodes=8)
+        queue = [blocker, reserved]
+        sched = FCFSScheduler(window_size=5, backfill=False)
+        sched.schedule(make_ctx(node_only_system, pool, queue))
+        assert sched.reserved_job is reserved
+        # Blocker ends; next instance starts the reserved job first.
+        blocker.end_time = 100.0
+        pool.release(blocker)
+        sched.schedule(make_ctx(node_only_system, pool, queue, now=100.0))
+        assert reserved.start_time == 100.0
+        assert sched.reserved_job is None
+
+    def test_stale_reservation_dropped_if_job_gone(self, node_only_system):
+        pool = ResourcePool(node_only_system)
+        ghost = njob(9, nodes=8)
+        sched = FCFSScheduler(window_size=5)
+        sched.reserved_job = ghost
+        sched.schedule(make_ctx(node_only_system, pool, [njob(1, nodes=2)]))
+        assert sched.reserved_job is None
+
+    def test_reset_clears_reservation(self, node_only_system):
+        sched = FCFSScheduler()
+        sched.reserved_job = njob(1, nodes=1)
+        sched.reset()
+        assert sched.reserved_job is None
+
+
+class TestBackfill:
+    def test_short_job_backfills(self, node_only_system):
+        pool = ResourcePool(node_only_system)
+        running = njob(1, nodes=6, walltime=1000.0, runtime=1000.0)
+        pool.allocate(running, now=0.0)
+        big = njob(2, nodes=10)  # reserved; shadow = 1000
+        short = njob(3, nodes=4, walltime=500.0, runtime=500.0)
+        queue = [big, short]
+        sched = FCFSScheduler(window_size=5, backfill=True)
+        sched.schedule(make_ctx(node_only_system, pool, queue))
+        assert sched.reserved_job is big
+        assert short.start_time == 0.0  # ends at 500 < shadow 1000
+
+    def test_long_job_does_not_delay_reservation(self, node_only_system):
+        pool = ResourcePool(node_only_system)
+        running = njob(1, nodes=6, walltime=1000.0, runtime=1000.0)
+        pool.allocate(running, now=0.0)
+        big = njob(2, nodes=10)
+        long_job = njob(3, nodes=4, walltime=5000.0, runtime=5000.0)
+        queue = [big, long_job]
+        sched = FCFSScheduler(window_size=5, backfill=True)
+        sched.schedule(make_ctx(node_only_system, pool, queue))
+        # long_job would hold 4 nodes past the shadow time and the
+        # reservation needs all 10 — must not backfill.
+        assert long_job.start_time is None
+
+    def test_long_job_backfills_into_spare(self, node_only_system):
+        pool = ResourcePool(node_only_system)
+        running = njob(1, nodes=6, walltime=1000.0, runtime=1000.0)
+        pool.allocate(running, now=0.0)
+        big = njob(2, nodes=6)  # shadow=1000, spare = 10-6 = 4
+        long_job = njob(3, nodes=4, walltime=9000.0, runtime=9000.0)
+        queue = [big, long_job]
+        sched = FCFSScheduler(window_size=5, backfill=True)
+        sched.schedule(make_ctx(node_only_system, pool, queue))
+        assert long_job.start_time == 0.0
+
+    def test_spare_decrements_across_backfills(self, node_only_system):
+        pool = ResourcePool(node_only_system)
+        running = njob(1, nodes=6, walltime=1000.0, runtime=1000.0)
+        pool.allocate(running, now=0.0)
+        big = njob(2, nodes=6)  # spare 4
+        bf1 = njob(3, nodes=3, walltime=9000.0, runtime=9000.0)
+        bf2 = njob(4, nodes=3, walltime=9000.0, runtime=9000.0)
+        queue = [big, bf1, bf2]
+        sched = FCFSScheduler(window_size=5, backfill=True)
+        sched.schedule(make_ctx(node_only_system, pool, queue))
+        assert bf1.start_time == 0.0
+        assert bf2.start_time is None  # spare exhausted (4-3=1 < 3)
+
+    def test_no_backfill_without_reservation(self, node_only_system):
+        pool = ResourcePool(node_only_system)
+        queue = [njob(1, nodes=2), njob(2, nodes=2)]
+        sched = FCFSScheduler(window_size=5, backfill=True)
+        sched.schedule(make_ctx(node_only_system, pool, queue))
+        assert all(j.start_time == 0.0 for j in [])  # everything started
+        assert sched.reserved_job is None
+
+
+# -- the fundamental EASY safety property -------------------------------------
+
+
+class ShadowTrackingFCFS(FCFSScheduler):
+    """Record the shadow time promised to each job when first reserved."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.promises: dict[int, float] = {}
+
+    def _easy_backfill(self, ctx):
+        reserved = self.reserved_job
+        if reserved is not None and reserved.job_id not in self.promises:
+            self.promises[reserved.job_id] = ctx.pool.earliest_fit_time(
+                reserved, ctx.now
+            )
+        super()._easy_backfill(ctx)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(1, 10),     # nodes
+            st.integers(50, 2000),  # runtime = walltime (exact estimates)
+            st.integers(0, 300),    # inter-arrival gap
+        ),
+        min_size=3,
+        max_size=25,
+    )
+)
+def test_backfill_never_delays_reservation_property(jobs_data):
+    """The EASY guarantee (Mu'alem & Feitelson): with exact runtime
+    estimates, a reserved job starts no later than the shadow time
+    computed at reservation — backfilled jobs never push it back."""
+    system = SystemConfig(resources=(ResourceSpec(NODE, 10),))
+    t = 0.0
+    jobs = []
+    for i, (nodes, runtime, gap) in enumerate(jobs_data):
+        t += gap
+        job = make_job(job_id=i + 1, submit=t, runtime=float(runtime),
+                       walltime=float(runtime), nodes=nodes)
+        job.requests.pop("burst_buffer")
+        jobs.append(job)
+
+    sched = ShadowTrackingFCFS(window_size=4, backfill=True)
+    sim = Simulator(system, sched, record_timeline=False)
+    result = sim.run(jobs)
+    starts = {j.job_id: j.start_time for j in result.jobs}
+    assert all(s is not None for s in starts.values())  # no starvation
+    for job_id, shadow in sched.promises.items():
+        assert starts[job_id] <= shadow + 1e-6, (
+            f"job {job_id} started {starts[job_id]} after promised {shadow}"
+        )

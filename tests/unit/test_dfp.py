@@ -1,0 +1,270 @@
+"""Tests for the DFP network and agent."""
+
+import numpy as np
+import pytest
+
+from repro.core.dfp import DFPAgent, DFPConfig, DFPNetwork
+
+
+def small_config(**overrides) -> DFPConfig:
+    defaults = dict(
+        state_dim=12,
+        n_measurements=2,
+        n_actions=4,
+        offsets=(1, 2),
+        temporal_weights=(0.5, 1.0),
+        state_hidden=(16, 8),
+        state_out=8,
+        module_hidden=8,
+        module_out=8,
+        stream_hidden=8,
+        batch_size=8,
+        train_batches_per_episode=4,
+        slot_dim=3,  # 4 actions × 3 slot features fit the 12-dim state
+    )
+    defaults.update(overrides)
+    return DFPConfig(**defaults)
+
+
+class TestConfig:
+    def test_pred_dim(self):
+        cfg = small_config()
+        assert cfg.pred_dim == 4  # 2 measurements × 2 offsets
+
+    def test_offsets_weights_length_mismatch(self):
+        with pytest.raises(ValueError):
+            small_config(offsets=(1, 2, 3))
+
+    def test_offsets_must_increase(self):
+        with pytest.raises(ValueError):
+            small_config(offsets=(2, 1))
+
+    def test_offsets_positive(self):
+        with pytest.raises(ValueError):
+            small_config(offsets=(0, 1))
+
+    def test_epsilon_range(self):
+        with pytest.raises(ValueError):
+            small_config(epsilon_min=0.5, epsilon_start=0.1)
+        with pytest.raises(ValueError):
+            small_config(epsilon_decay=0.0)
+
+    def test_dimensions_positive(self):
+        with pytest.raises(ValueError):
+            small_config(state_dim=0)
+
+    def test_paper_scale(self):
+        cfg = DFPConfig.paper_scale(state_dim=11404, n_measurements=2, n_actions=10)
+        assert cfg.state_hidden == (4000, 1000)
+        assert cfg.state_out == 512
+        assert cfg.module_hidden == 128
+
+
+class TestNetwork:
+    def test_forward_shape(self, rng):
+        cfg = small_config()
+        net = DFPNetwork(cfg, rng=rng)
+        out = net.forward(
+            rng.random((3, 12)), rng.random((3, 2)), rng.random((3, 2))
+        )
+        assert out.shape == (3, 4, 4)  # (B, actions, pred_dim)
+
+    def test_dueling_decomposition(self, rng):
+        """Mean over actions equals the expectation stream output — the
+        action stream is normalised to zero mean."""
+        cfg = small_config()
+        net = DFPNetwork(cfg, rng=rng)
+        s, m, g = rng.random((2, 12)), rng.random((2, 2)), rng.random((2, 2))
+        preds = net.forward(s, m, g)
+        so = net.state_net.forward(s)
+        mo = net.meas_net.forward(m)
+        go = net.goal_net.forward(g)
+        joint = np.concatenate([so, mo, go], axis=1)
+        expectation = net.expectation_stream.forward(joint)
+        np.testing.assert_allclose(preds.mean(axis=1), expectation, atol=1e-12)
+
+    def test_goal_changes_nothing_without_goal_branch_weights(self, rng):
+        """Different goals yield different predictions (goal is an input)."""
+        cfg = small_config()
+        net = DFPNetwork(cfg, rng=rng)
+        s, m = rng.random((1, 12)), rng.random((1, 2))
+        a = net.forward(s, m, np.array([[1.0, 0.0]]))
+        b = net.forward(s, m, np.array([[0.0, 1.0]]))
+        assert not np.allclose(a, b)
+
+    def test_backward_gradcheck(self, rng):
+        """End-to-end finite-difference check through branches + streams."""
+        cfg = small_config(state_hidden=(6, 5), state_out=4, module_hidden=4,
+                           module_out=3, stream_hidden=5)
+        net = DFPNetwork(cfg, rng=rng)
+        s, m, g = rng.random((2, 12)), rng.random((2, 2)), rng.random((2, 2))
+        w = rng.normal(size=(2, cfg.n_actions, cfg.pred_dim))
+
+        def scalar():
+            return float((net.forward(s, m, g) * w).sum())
+
+        net.zero_grad()
+        net.forward(s, m, g)
+        net.backward(w)
+        eps = 1e-6
+        for layer in net.layers:
+            for name, param in layer.params.items():
+                flat_idx = np.unravel_index(
+                    np.argmax(np.abs(layer.grads[name])), param.shape
+                )
+                orig = param[flat_idx]
+                param[flat_idx] = orig + eps
+                up = scalar()
+                param[flat_idx] = orig - eps
+                dn = scalar()
+                param[flat_idx] = orig
+                numeric = (up - dn) / (2 * eps)
+                assert layer.grads[name][flat_idx] == pytest.approx(
+                    numeric, rel=1e-3, abs=1e-6
+                )
+
+    def test_custom_state_module_requires_out_dim(self, rng):
+        from repro.nn.layers import Dense
+        from repro.nn.network import Sequential
+
+        cfg = small_config()
+        module = Sequential([Dense(12, 8, rng=rng)])
+        with pytest.raises(ValueError):
+            DFPNetwork(cfg, rng=rng, state_module=module)
+        net = DFPNetwork(cfg, rng=rng, state_module=module, state_module_out=8)
+        out = net.forward(rng.random((1, 12)), rng.random((1, 2)), rng.random((1, 2)))
+        assert out.shape == (1, 4, 4)
+
+    def test_state_dict_roundtrip(self, rng):
+        cfg = small_config()
+        a = DFPNetwork(cfg, rng=np.random.default_rng(1))
+        b = DFPNetwork(cfg, rng=np.random.default_rng(2))
+        s, m, g = rng.random((1, 12)), rng.random((1, 2)), rng.random((1, 2))
+        assert not np.allclose(a.forward(s, m, g), b.forward(s, m, g))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.forward(s, m, g), b.forward(s, m, g))
+
+
+class TestAgentActing:
+    def test_objective_weights(self):
+        agent = DFPAgent(small_config(), rng=0)
+        w = agent.objective_weights(np.array([0.3, 0.7]))
+        # offsets weights (0.5, 1.0) ⊗ goal (0.3, 0.7)
+        np.testing.assert_allclose(w, [0.15, 0.35, 0.3, 0.7])
+
+    def test_act_respects_mask(self, rng):
+        agent = DFPAgent(small_config(), rng=3)
+        agent.epsilon = 0.0
+        mask = np.array([False, True, False, True])
+        for _ in range(10):
+            a = agent.act(rng.random(12), rng.random(2), rng.random(2), mask)
+            assert a in (1, 3)
+
+    def test_act_explore_respects_mask(self, rng):
+        agent = DFPAgent(small_config(epsilon_min=1.0, epsilon_start=1.0), rng=3)
+        mask = np.array([True, False, False, False])
+        for _ in range(20):
+            a = agent.act(rng.random(12), rng.random(2), rng.random(2), mask,
+                          explore=True)
+            assert a == 0
+
+    def test_no_valid_action_raises(self, rng):
+        agent = DFPAgent(small_config(), rng=0)
+        with pytest.raises(ValueError):
+            agent.act(rng.random(12), rng.random(2), rng.random(2),
+                      np.zeros(4, dtype=bool))
+
+    def test_epsilon_decays_only_when_exploring(self, rng):
+        agent = DFPAgent(small_config(), rng=0)
+        eps0 = agent.epsilon
+        agent.act(rng.random(12), rng.random(2), rng.random(2),
+                  np.ones(4, dtype=bool), explore=False)
+        assert agent.epsilon == eps0
+        agent.act(rng.random(12), rng.random(2), rng.random(2),
+                  np.ones(4, dtype=bool), explore=True)
+        assert agent.epsilon == pytest.approx(eps0 * agent.config.epsilon_decay)
+
+    def test_epsilon_floor(self, rng):
+        agent = DFPAgent(small_config(epsilon_min=0.5), rng=0)
+        agent.epsilon = 0.5001
+        for _ in range(10):
+            agent.act(rng.random(12), rng.random(2), rng.random(2),
+                      np.ones(4, dtype=bool), explore=True)
+        assert agent.epsilon == pytest.approx(0.5)
+
+    def test_greedy_picks_argmax_of_goal_weighted_scores(self, rng):
+        agent = DFPAgent(small_config(), rng=0)
+        agent.epsilon = 0.0
+        s, m, g = rng.random(12), rng.random(2), np.array([0.4, 0.6])
+        scores = agent.action_scores(s, m, g)
+        a = agent.act(s, m, g, np.ones(4, dtype=bool))
+        assert a == int(np.argmax(scores))
+
+
+class TestAgentLearning:
+    def test_build_targets_shapes_and_values(self):
+        agent = DFPAgent(small_config(), rng=0)
+        ms = [np.array([0.0, 0.0]), np.array([0.1, 0.2]),
+              np.array([0.3, 0.1]), np.array([0.5, 0.4])]
+        targets = agent.build_targets(ms)
+        assert targets.shape == (4, 4)
+        # step 0, offset 1: m1 - m0
+        np.testing.assert_allclose(targets[0, :2], [0.1, 0.2])
+        # step 0, offset 2: m2 - m0
+        np.testing.assert_allclose(targets[0, 2:], [0.3, 0.1])
+        # step 3 (last): future clamps to final measurement → zeros
+        np.testing.assert_allclose(targets[3], 0.0)
+        # step 2, offset 2 clamps to last: m3 - m2
+        np.testing.assert_allclose(targets[2, 2:], [0.2, 0.3])
+
+    def test_build_targets_empty(self):
+        agent = DFPAgent(small_config(), rng=0)
+        assert agent.build_targets([]).shape == (0, 4)
+
+    def test_record_episode_fills_replay(self, rng):
+        agent = DFPAgent(small_config(), rng=0)
+        steps = [(rng.random(12), rng.random(2), rng.random(2), i % 4, i % 3 == 0)
+                 for i in range(6)]
+        ms = [rng.random(2) for _ in range(6)]
+        agent.record_episode(steps, ms)
+        assert len(agent.replay) == 6
+
+    def test_record_episode_length_mismatch(self, rng):
+        agent = DFPAgent(small_config(), rng=0)
+        with pytest.raises(ValueError):
+            agent.record_episode([(rng.random(12), rng.random(2), rng.random(2), 0)], [])
+
+    def test_replay_capacity_bounded(self, rng):
+        agent = DFPAgent(small_config(replay_capacity=10), rng=0)
+        steps = [(rng.random(12), rng.random(2), rng.random(2), 0, False)
+                 for _ in range(25)]
+        ms = [rng.random(2) for _ in range(25)]
+        agent.record_episode(steps, ms)
+        assert len(agent.replay) == 10
+
+    def test_train_batch_empty_replay(self):
+        agent = DFPAgent(small_config(), rng=0)
+        assert agent.train_batch() == 0.0
+
+    def test_training_reduces_loss_on_fixed_task(self, rng):
+        """Regression sanity: repeated updates on a fixed replay buffer
+        drive the masked MSE down."""
+        agent = DFPAgent(small_config(lr=3e-3), rng=0)
+        steps = [(rng.random(12), rng.random(2), rng.random(2), i % 4, i % 3 == 0)
+                 for i in range(32)]
+        ms = [np.array([i / 32, 1 - i / 32]) for i in range(32)]
+        agent.record_episode(steps, ms)
+        first = np.mean([agent.train_batch() for _ in range(5)])
+        for _ in range(150):
+            agent.train_batch()
+        last = np.mean([agent.train_batch() for _ in range(5)])
+        assert last < first
+
+    def test_state_dict_roundtrip_with_epsilon(self, rng):
+        a = DFPAgent(small_config(), rng=1)
+        a.epsilon = 0.123
+        b = DFPAgent(small_config(), rng=2)
+        b.load_state_dict(a.state_dict())
+        assert b.epsilon == pytest.approx(0.123)
+        s, m, g = rng.random(12), rng.random(2), rng.random(2)
+        np.testing.assert_allclose(a.action_scores(s, m, g), b.action_scores(s, m, g))

@@ -1,0 +1,32 @@
+"""Tests for the dynamic-goal switch (§III-B ablation support)."""
+
+import numpy as np
+
+from repro.cluster.resources import ResourcePool
+from repro.sim.simulator import Simulator
+from tests.conftest import make_job
+from tests.unit.test_base_sched import make_ctx
+from tests.unit.test_mrsch import small_mrsch
+
+
+def test_dynamic_goal_tracks_contention(tiny_system):
+    sched = small_mrsch(tiny_system)
+    pool = ResourcePool(tiny_system)
+    bb_heavy = [make_job(job_id=i, nodes=1, bb=6, runtime=1000.0) for i in (1, 2, 3)]
+    sched.schedule(make_ctx(tiny_system, pool, list(bb_heavy)))
+    _, goals = sched.goal_series()
+    assert goals[0, 1] > 0.5  # BB weight dominates
+
+
+def test_fixed_goal_stays_uniform(tiny_system, tiny_trace):
+    sched = small_mrsch(tiny_system, dynamic_goal=False)
+    Simulator(tiny_system, sched).run(tiny_trace)
+    _, goals = sched.goal_series()
+    assert goals.shape[0] > 0
+    np.testing.assert_allclose(goals, 0.5)
+
+
+def test_fixed_goal_still_completes_workload(tiny_system, tiny_trace):
+    sched = small_mrsch(tiny_system, dynamic_goal=False)
+    result = Simulator(tiny_system, sched).run(tiny_trace)
+    assert result.metrics.n_jobs == len(tiny_trace)

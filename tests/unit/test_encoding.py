@@ -1,0 +1,125 @@
+"""Tests for the §III-A vector state encoding."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import BURST_BUFFER, NODE, ResourcePool, SystemConfig
+from repro.core.encoding import StateEncoder
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def encoder(tiny_system):
+    return StateEncoder(tiny_system, window_size=3, time_scale=100.0, time_clip=8.0)
+
+
+class TestDimensions:
+    def test_state_dim_formula(self, tiny_system):
+        enc = StateEncoder(tiny_system, window_size=3)
+        # (2R+2)*W + 2*(N1+N2) = 6*3 + 2*(16+8) = 66 (augmented layout)
+        assert enc.state_dim == 66
+        assert enc.job_dim == 6
+
+    def test_paper_layout_dim(self, tiny_system):
+        enc = StateEncoder(tiny_system, window_size=3, paper_layout=True)
+        # (R+2)*W + 2*(N1+N2) = 4*3 + 2*(16+8) = 60
+        assert enc.state_dim == 60
+        assert enc.job_dim == 4
+
+    def test_paper_theta_dimension(self):
+        """§IV-C: W=10, 4392 nodes, 1290 BB units → input size 11404.
+
+        (The paper quotes 11410 with its window encoding of 4W+2N1+2N2
+        = 40 + 8784 + 2580 = 11404; the formula matches ours.)
+        """
+        enc = StateEncoder(SystemConfig.theta(), window_size=10, paper_layout=True)
+        assert enc.state_dim == 4 * 10 + 2 * 4392 + 2 * 1290
+
+    def test_invalid_params(self, tiny_system):
+        with pytest.raises(ValueError):
+            StateEncoder(tiny_system, window_size=0)
+        with pytest.raises(ValueError):
+            StateEncoder(tiny_system, time_scale=0.0)
+
+
+class TestJobBlock:
+    def test_request_fractions(self, encoder, tiny_system):
+        pool = ResourcePool(tiny_system)
+        job = make_job(job_id=1, nodes=8, bb=2, runtime=50.0, walltime=50.0)
+        state = encoder.encode([job], pool, now=0.0)
+        assert state[0] == pytest.approx(8 / 16)
+        assert state[1] == pytest.approx(2 / 8)
+        assert state[2] == pytest.approx(0.5)  # walltime / time_scale
+        assert state[3] == 0.0  # queued time
+
+    def test_queued_time(self, encoder, tiny_system):
+        pool = ResourcePool(tiny_system)
+        job = make_job(job_id=1, submit=0.0, nodes=1, runtime=50.0)
+        state = encoder.encode([job], pool, now=200.0)
+        assert state[3] == pytest.approx(2.0)
+
+    def test_time_clipping(self, encoder, tiny_system):
+        pool = ResourcePool(tiny_system)
+        job = make_job(job_id=1, nodes=1, runtime=1e9, walltime=1e9)
+        state = encoder.encode([job], pool, now=0.0)
+        assert state[2] == encoder.time_clip
+
+    def test_empty_slots_zero_padded(self, encoder, tiny_system):
+        pool = ResourcePool(tiny_system)
+        job = make_job(job_id=1, nodes=1, runtime=50.0)
+        state = encoder.encode([job], pool, now=0.0)
+        per = encoder.job_dim
+        assert np.all(state[per : 3 * per] == 0.0)  # slots 2 and 3
+
+    def test_shortfall_features(self, encoder, tiny_system):
+        pool = ResourcePool(tiny_system)
+        pool.allocate(make_job(job_id=9, nodes=12, runtime=100.0), now=0.0)
+        fitting = make_job(job_id=1, nodes=4, bb=2, runtime=50.0)
+        blocked = make_job(job_id=2, nodes=10, bb=2, runtime=50.0)
+        state = encoder.encode([fitting, blocked], pool, now=0.0)
+        per = encoder.job_dim
+        # fitting job: zero shortfall on both resources
+        assert np.all(state[4:6] == 0.0)
+        # blocked job: node shortfall (10 - 4 free) / 16
+        assert state[per + 4] == pytest.approx(6 / 16)
+        assert state[per + 5] == 0.0
+
+    def test_window_overflow_rejected(self, encoder, tiny_system):
+        pool = ResourcePool(tiny_system)
+        jobs = [make_job(job_id=i, nodes=1) for i in range(5)]
+        with pytest.raises(ValueError, match="window"):
+            encoder.encode(jobs, pool, now=0.0)
+
+
+class TestResourceBlock:
+    def test_all_free(self, encoder, tiny_system):
+        pool = ResourcePool(tiny_system)
+        state = encoder.encode([], pool, now=0.0)
+        offset = encoder.job_dim * 3
+        np.testing.assert_array_equal(state[offset : offset + 16], 1.0)  # node avail
+        np.testing.assert_array_equal(state[offset + 16 : offset + 32], 0.0)  # ttf
+
+    def test_busy_units_encoded(self, encoder, tiny_system):
+        pool = ResourcePool(tiny_system)
+        running = make_job(job_id=9, nodes=4, runtime=100.0, walltime=300.0)
+        pool.allocate(running, now=0.0)
+        state = encoder.encode([], pool, now=100.0)
+        offset = encoder.job_dim * 3
+        avail = state[offset : offset + 16]
+        ttf = state[offset + 16 : offset + 32]
+        assert avail.sum() == 12
+        # est free at 300, now=100 → 200s → /time_scale(100) = 2.0
+        np.testing.assert_allclose(ttf[avail == 0], 2.0)
+
+    def test_fixed_size_regardless_of_window_population(self, encoder, tiny_system):
+        pool = ResourcePool(tiny_system)
+        a = encoder.encode([], pool, now=0.0)
+        b = encoder.encode([make_job(job_id=1, nodes=1)], pool, now=0.0)
+        assert a.shape == b.shape == (encoder.state_dim,)
+
+
+class TestMask:
+    def test_window_mask(self, encoder):
+        jobs = [make_job(job_id=1, nodes=1), make_job(job_id=2, nodes=1)]
+        assert encoder.window_mask(jobs).tolist() == [True, True, False]
+        assert encoder.window_mask([]).tolist() == [False, False, False]

@@ -1,0 +1,109 @@
+"""Tests for the event queue (with hypothesis ordering property)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import Event, EventKind, EventQueue
+from tests.conftest import make_job
+
+
+def ev(time: float, kind: EventKind = EventKind.SUBMIT) -> Event:
+    return Event(time, kind, make_job())
+
+
+class TestEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ev(-1.0)
+
+
+class TestQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        for t in (5.0, 1.0, 3.0):
+            q.push(ev(t))
+        assert [q.pop().time for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_end_before_submit_at_same_time(self):
+        q = EventQueue()
+        q.push(ev(10.0, EventKind.SUBMIT))
+        q.push(ev(10.0, EventKind.END))
+        assert q.pop().kind is EventKind.END
+        assert q.pop().kind is EventKind.SUBMIT
+
+    def test_insertion_order_breaks_ties(self):
+        q = EventQueue()
+        a, b = make_job(job_id=1), make_job(job_id=2)
+        q.push(Event(5.0, EventKind.SUBMIT, a))
+        q.push(Event(5.0, EventKind.SUBMIT, b))
+        assert q.pop().job.job_id == 1
+        assert q.pop().job.job_id == 2
+
+    def test_pop_simultaneous(self):
+        q = EventQueue()
+        q.push(ev(1.0))
+        q.push(ev(1.0, EventKind.END))
+        q.push(ev(2.0))
+        batch = q.pop_simultaneous()
+        assert len(batch) == 2
+        assert batch[0].kind is EventKind.END
+        assert len(q) == 1
+
+    def test_empty_operations_raise(self):
+        q = EventQueue()
+        with pytest.raises(IndexError):
+            q.pop()
+        with pytest.raises(IndexError):
+            q.peek()
+        with pytest.raises(IndexError):
+            q.pop_simultaneous()
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(ev(1.0))
+        assert q.peek().time == 1.0
+        assert len(q) == 1
+        assert q.peek_time() == 1.0
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(ev(1.0))
+        assert q
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50))
+def test_pop_order_property(times):
+    q = EventQueue()
+    for t in times:
+        q.push(ev(t))
+    popped = [q.pop().time for _ in range(len(times))]
+    assert popped == sorted(times)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 100.0), st.sampled_from(list(EventKind))),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_simultaneous_batches_cover_everything(items):
+    q = EventQueue()
+    for t, kind in items:
+        q.push(ev(t, kind))
+    total = 0
+    last_time = -1.0
+    while q:
+        batch = q.pop_simultaneous()
+        assert len({e.time for e in batch}) == 1
+        assert batch[0].time > last_time
+        last_time = batch[0].time
+        # Within a batch, ENDs precede SUBMITs.
+        kinds = [e.kind for e in batch]
+        assert kinds == sorted(kinds)
+        total += len(batch)
+    assert total == len(items)

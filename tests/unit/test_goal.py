@@ -1,0 +1,98 @@
+"""Tests for the Eq. 1 dynamic goal vector (§III-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.resources import BURST_BUFFER, NODE, ResourceSpec, SystemConfig
+from repro.core.goal import contention_terms, goal_vector
+from tests.conftest import make_job
+
+
+class TestGoalVector:
+    def test_simplex(self, tiny_system):
+        queued = [make_job(job_id=1, nodes=8, bb=2, runtime=100.0)]
+        g = goal_vector(queued, [], tiny_system, now=0.0)
+        assert g.sum() == pytest.approx(1.0)
+        assert np.all(g >= 0)
+
+    def test_idle_system_uniform(self, tiny_system):
+        g = goal_vector([], [], tiny_system, now=0.0)
+        np.testing.assert_allclose(g, [0.5, 0.5])
+
+    def test_hand_computed_example(self, tiny_system):
+        """One queued job: 8/16 nodes, 4/8 BB, t=100 →
+        node term = 0.5*100 = 50, bb term = 0.5*100 = 50 → (0.5, 0.5).
+        Second job with bb only shifts weight to bb."""
+        j1 = make_job(job_id=1, nodes=8, bb=4, runtime=100.0, walltime=100.0)
+        g = goal_vector([j1], [], tiny_system, now=0.0)
+        np.testing.assert_allclose(g, [0.5, 0.5])
+        j2 = make_job(job_id=2, nodes=0, bb=8, runtime=100.0, walltime=100.0)
+        g = goal_vector([j1, j2], [], tiny_system, now=0.0)
+        # terms: node 50, bb 50 + 100 = 150 → (0.25, 0.75)
+        np.testing.assert_allclose(g, [0.25, 0.75])
+
+    def test_running_jobs_use_remaining_walltime(self, tiny_system):
+        job = make_job(job_id=1, nodes=16, bb=0, runtime=400.0, walltime=400.0)
+        job.start_time = 0.0
+        g_t100 = contention_terms([], [job], tiny_system, now=100.0)
+        g_t300 = contention_terms([], [job], tiny_system, now=300.0)
+        assert g_t100[0] == pytest.approx(300.0)
+        assert g_t300[0] == pytest.approx(100.0)
+
+    def test_overrun_running_job_contributes_zero(self, tiny_system):
+        job = make_job(job_id=1, nodes=16, runtime=100.0, walltime=100.0)
+        job.start_time = 0.0
+        terms = contention_terms([], [job], tiny_system, now=500.0)
+        assert terms[0] == 0.0
+
+    def test_running_without_start_rejected(self, tiny_system):
+        job = make_job(job_id=1, nodes=4)
+        with pytest.raises(ValueError):
+            contention_terms([], [job], tiny_system, now=0.0)
+
+    def test_fiercer_resource_weighted_higher(self, tiny_system):
+        """BB-heavy queue → rBB > rNode (the §V-D behaviour)."""
+        queued = [
+            make_job(job_id=i, nodes=1, bb=6, runtime=1000.0, walltime=1000.0)
+            for i in range(5)
+        ]
+        g = goal_vector(queued, [], tiny_system, now=0.0)
+        bb_idx = tiny_system.names.index(BURST_BUFFER)
+        assert g[bb_idx] > 0.9
+
+    def test_three_resources(self):
+        system = SystemConfig(
+            resources=(
+                ResourceSpec(NODE, 10),
+                ResourceSpec(BURST_BUFFER, 10),
+                ResourceSpec("power", 10),
+            )
+        )
+        job = make_job(job_id=1, nodes=10, bb=5, power=5, runtime=100.0)
+        g = goal_vector([job], [], system, now=0.0)
+        assert g.shape == (3,)
+        np.testing.assert_allclose(g, [0.5, 0.25, 0.25])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 16), st.integers(0, 8), st.floats(1.0, 1e5)),
+        min_size=0,
+        max_size=15,
+    )
+)
+def test_goal_simplex_property(jobs_data):
+    system = SystemConfig(
+        resources=(ResourceSpec(NODE, 16), ResourceSpec(BURST_BUFFER, 8))
+    )
+    queued = [
+        make_job(job_id=i, nodes=n, bb=b, runtime=t, walltime=t)
+        for i, (n, b, t) in enumerate(jobs_data)
+    ]
+    g = goal_vector(queued, [], system, now=0.0)
+    assert g.shape == (2,)
+    assert g.sum() == pytest.approx(1.0)
+    assert np.all(g >= 0.0)

@@ -1,0 +1,162 @@
+"""Tests for metrics (§IV-B) and Kiviat normalization (Fig 7)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import BURST_BUFFER, NODE, POWER, ResourceSpec, SystemConfig
+from repro.sim.metrics import MetricReport, compute_metrics, kiviat_normalize
+from repro.sim.recorder import TimelineRecorder
+from tests.conftest import make_job
+
+
+def finished_job(job_id, submit, start, runtime, nodes, bb=0, **extra):
+    job = make_job(job_id=job_id, submit=submit, runtime=runtime, nodes=nodes, bb=bb, **extra)
+    job.start_time = start
+    job.end_time = start + runtime
+    return job
+
+
+class TestComputeMetrics:
+    def test_empty_jobs(self, tiny_system):
+        report = compute_metrics([], tiny_system)
+        assert report.n_jobs == 0
+        assert report.node_util == 0.0
+
+    def test_single_job_full_utilization(self, tiny_system):
+        job = finished_job(1, submit=0.0, start=0.0, runtime=100.0, nodes=16, bb=8)
+        report = compute_metrics([job], tiny_system)
+        assert report.node_util == pytest.approx(1.0)
+        assert report.bb_util == pytest.approx(1.0)
+        assert report.avg_wait == 0.0
+        assert report.avg_slowdown == 1.0
+        assert report.makespan == pytest.approx(100.0)
+
+    def test_hand_computed_two_jobs(self, tiny_system):
+        # span = 0 .. 300; node-seconds used = 8*100 + 4*200 = 1600
+        jobs = [
+            finished_job(1, submit=0.0, start=0.0, runtime=100.0, nodes=8),
+            finished_job(2, submit=0.0, start=100.0, runtime=200.0, nodes=4),
+        ]
+        report = compute_metrics(jobs, tiny_system)
+        assert report.node_util == pytest.approx(1600 / (16 * 300))
+        assert report.avg_wait == pytest.approx(50.0)
+        # slowdowns: 1.0 and (100+200)/200 = 1.5
+        assert report.avg_slowdown == pytest.approx(1.25)
+        assert report.max_wait == 100.0
+
+    def test_unfinished_jobs_excluded(self, tiny_system):
+        done = finished_job(1, submit=0.0, start=0.0, runtime=100.0, nodes=4)
+        pending = make_job(job_id=2, nodes=4)
+        report = compute_metrics([done, pending], tiny_system)
+        assert report.n_jobs == 1
+
+    def test_power_metric(self):
+        system = SystemConfig(
+            resources=(ResourceSpec(NODE, 8), ResourceSpec(POWER, 100))
+        )
+        job = finished_job(1, submit=0.0, start=0.0, runtime=100.0, nodes=4, power=50)
+        report = compute_metrics([job], system)
+        assert report.avg_power_units == pytest.approx(50.0)
+        assert "avg_power_units" in report.as_dict()
+
+    def test_as_dict_keys(self, tiny_system):
+        job = finished_job(1, submit=0.0, start=0.0, runtime=10.0, nodes=1)
+        d = compute_metrics([job], tiny_system).as_dict()
+        assert set(d) == {"node_util", "bb_util", "avg_wait_h", "avg_slowdown"}
+
+    def test_wait_hours_conversion(self, tiny_system):
+        job = finished_job(1, submit=0.0, start=7200.0, runtime=100.0, nodes=1)
+        report = compute_metrics([job], tiny_system)
+        assert report.avg_wait_hours == pytest.approx(2.0)
+
+
+def report_with(node_util, bb_util, wait, slowdown) -> MetricReport:
+    return MetricReport(
+        utilization={NODE: node_util, BURST_BUFFER: bb_util},
+        avg_wait=wait,
+        avg_slowdown=slowdown,
+        max_wait=wait,
+        p95_slowdown=slowdown,
+        makespan=1000.0,
+        n_jobs=10,
+    )
+
+
+class TestKiviat:
+    def test_best_method_scores_one(self):
+        reports = {
+            "A": report_with(0.8, 0.6, 100.0, 2.0),
+            "B": report_with(0.4, 0.3, 200.0, 4.0),
+        }
+        chart = kiviat_normalize(reports)
+        assert all(v == pytest.approx(1.0) for v in chart["A"].values())
+        assert chart["B"]["node_util"] == pytest.approx(0.5)
+        assert chart["B"]["inv_avg_wait"] == pytest.approx(0.5)
+        assert chart["B"]["inv_avg_slowdown"] == pytest.approx(0.5)
+
+    def test_values_in_unit_interval(self):
+        reports = {
+            "A": report_with(0.9, 0.1, 50.0, 1.5),
+            "B": report_with(0.2, 0.8, 500.0, 9.0),
+            "C": report_with(0.5, 0.5, 100.0, 3.0),
+        }
+        chart = kiviat_normalize(reports)
+        for axes in chart.values():
+            for value in axes.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_zero_wait_handled(self):
+        reports = {"A": report_with(0.5, 0.5, 0.0, 1.0)}
+        chart = kiviat_normalize(reports)
+        assert chart["A"]["inv_avg_wait"] == 1.0
+
+    def test_power_axis_optional(self):
+        r = report_with(0.5, 0.5, 10.0, 2.0)
+        r.avg_power_units = 40.0
+        chart = kiviat_normalize({"A": r}, include_power=True)
+        assert "avg_sys_power" in chart["A"]
+
+    def test_empty(self):
+        assert kiviat_normalize({}) == {}
+
+
+class TestRecorder:
+    def test_time_weighted_mean(self):
+        rec = TimelineRecorder()
+        rec.record_utilization(0.0, np.array([0.0]))
+        rec.record_utilization(10.0, np.array([1.0]))
+        rec.record_utilization(30.0, np.array([0.5]))
+        # step function: 0.0 for 10s, 1.0 for 20s => (0*10 + 1*20)/30
+        mean = rec.time_weighted_mean_utilization()
+        assert mean[0] == pytest.approx(20 / 30)
+
+    def test_single_sample(self):
+        rec = TimelineRecorder()
+        rec.record_utilization(5.0, np.array([0.7]))
+        assert rec.time_weighted_mean_utilization()[0] == pytest.approx(0.7)
+
+    def test_empty_series(self):
+        rec = TimelineRecorder()
+        times, values = rec.utilization_series
+        assert times.size == 0
+        assert rec.time_weighted_mean_utilization().size == 0
+
+    def test_goal_window(self):
+        rec = TimelineRecorder()
+        for t in range(10):
+            rec.record_goal(float(t), np.array([t / 10, 1 - t / 10]))
+        times, goals = rec.goal_window(3.0, 6.0)
+        assert times.tolist() == [3.0, 4.0, 5.0, 6.0]
+        assert goals.shape == (4, 2)
+
+    def test_goal_window_invalid(self):
+        with pytest.raises(ValueError):
+            TimelineRecorder().goal_window(5.0, 1.0)
+
+    def test_values_copied(self):
+        rec = TimelineRecorder()
+        v = np.array([0.5])
+        rec.record_utilization(0.0, v)
+        v[0] = 99.0
+        _, values = rec.utilization_series
+        assert values[0, 0] == 0.5

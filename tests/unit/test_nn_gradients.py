@@ -1,0 +1,165 @@
+"""Finite-difference gradient verification for every layer and network.
+
+The hand-written backward passes are the foundation of the whole agent;
+each is checked against central finite differences on both inputs and
+parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv1D,
+    Dense,
+    Flatten,
+    LeakyReLU,
+    MaxPool1D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.network import Sequential
+
+EPS = 1e-6
+TOL = 1e-5
+
+
+def numeric_grad(f, x: np.ndarray) -> np.ndarray:
+    """Central finite differences of scalar f with respect to array x."""
+    grad = np.zeros_like(x, dtype=float)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + EPS
+        f_plus = f()
+        x[idx] = orig - EPS
+        f_minus = f()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * EPS)
+        it.iternext()
+    return grad
+
+
+def check_input_grad(layer, x: np.ndarray, seed: int = 0) -> None:
+    """Verify d(w·y)/dx for a random projection w."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=layer.forward(x.copy()).shape)
+
+    def scalar() -> float:
+        return float((layer.forward(x) * w).sum())
+
+    layer.forward(x)
+    analytic = layer.backward(w)
+    numeric = numeric_grad(scalar, x)
+    np.testing.assert_allclose(analytic, numeric, atol=TOL, rtol=1e-4)
+
+
+def check_param_grads(layer, x: np.ndarray, seed: int = 0) -> None:
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=layer.forward(x).shape)
+
+    def scalar() -> float:
+        return float((layer.forward(x) * w).sum())
+
+    layer.zero_grad()
+    layer.forward(x)
+    layer.backward(w)
+    for name, param in layer.params.items():
+        numeric = numeric_grad(scalar, param)
+        np.testing.assert_allclose(
+            layer.grads[name], numeric, atol=TOL, rtol=1e-4, err_msg=name
+        )
+
+
+class TestLayerGradients:
+    def test_dense_input_and_params(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    def test_conv1d_input_and_params(self, rng):
+        layer = Conv1D(2, 3, kernel_size=3, stride=2, rng=rng)
+        x = rng.normal(size=(2, 9, 2))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    def test_conv1d_stride_one(self, rng):
+        layer = Conv1D(1, 2, kernel_size=2, stride=1, rng=rng)
+        x = rng.normal(size=(3, 6, 1))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    @pytest.mark.parametrize(
+        "layer_factory",
+        [ReLU, lambda: LeakyReLU(0.07), Tanh, Sigmoid, Softmax],
+        ids=["relu", "leaky", "tanh", "sigmoid", "softmax"],
+    )
+    def test_activation_gradients(self, layer_factory, rng):
+        layer = layer_factory()
+        # Offset from 0 to dodge the ReLU kink where FD is ill-defined.
+        x = rng.normal(size=(4, 6)) + 0.3 * np.sign(rng.normal(size=(4, 6)))
+        x[np.abs(x) < 0.05] = 0.1
+        check_input_grad(layer, x)
+
+    def test_maxpool_gradient(self, rng):
+        layer = MaxPool1D(2)
+        # Distinct values avoid argmax ties, which break FD.
+        x = rng.permutation(24).reshape(2, 6, 2).astype(float)
+        check_input_grad(layer, x)
+
+    def test_flatten_gradient(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4))
+        check_input_grad(layer, x)
+
+
+class TestNetworkGradients:
+    def test_mlp_end_to_end(self, rng):
+        net = Sequential(
+            [Dense(5, 8, rng=rng), LeakyReLU(0.1), Dense(8, 3, rng=rng), Tanh()]
+        )
+        x = rng.normal(size=(4, 5))
+        w = rng.normal(size=(4, 3))
+
+        def scalar() -> float:
+            return float((net.forward(x) * w).sum())
+
+        net.zero_grad()
+        net.forward(x)
+        analytic_x = net.backward(w)
+        np.testing.assert_allclose(
+            analytic_x, numeric_grad(scalar, x), atol=TOL, rtol=1e-4
+        )
+        for layer in net.layers:
+            for name, param in layer.params.items():
+                np.testing.assert_allclose(
+                    layer.grads[name],
+                    numeric_grad(scalar, param),
+                    atol=TOL,
+                    rtol=1e-4,
+                )
+
+    def test_cnn_pipeline(self, rng):
+        net = Sequential(
+            [
+                Conv1D(1, 2, kernel_size=3, stride=2, rng=rng),
+                LeakyReLU(0.1),
+                Flatten(),
+                Dense(8, 2, rng=rng),
+            ]
+        )
+        x = rng.normal(size=(2, 9, 1))
+        w = rng.normal(size=(2, 2))
+
+        def scalar() -> float:
+            return float((net.forward(x) * w).sum())
+
+        net.zero_grad()
+        net.forward(x)
+        analytic_x = net.backward(w)
+        np.testing.assert_allclose(
+            analytic_x, numeric_grad(scalar, x), atol=TOL, rtol=1e-4
+        )

@@ -1,0 +1,186 @@
+"""Unit tests for repro.nn.layers: shapes, values, error handling."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    MaxPool1D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        out = layer.forward(rng.random((7, 5)))
+        assert out.shape == (7, 3)
+
+    def test_linear_map(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        layer.params["W"][...] = np.arange(8).reshape(4, 2)
+        layer.params["b"][...] = [1.0, -1.0]
+        x = np.ones((1, 4))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out, [[0 + 2 + 4 + 6 + 1, 1 + 3 + 5 + 7 - 1]])
+
+    def test_rejects_wrong_input_width(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        with pytest.raises(ValueError, match="expected input"):
+            layer.forward(np.zeros((2, 4)))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        with pytest.raises(ValueError):
+            Dense(3, -1)
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2, rng=rng).backward(np.zeros((1, 2)))
+
+    def test_gradient_accumulates_until_zeroed(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.random((4, 3))
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        g1 = layer.grads["W"].copy()
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        np.testing.assert_allclose(layer.grads["W"], 2 * g1)
+        layer.zero_grad()
+        assert np.all(layer.grads["W"] == 0)
+
+    def test_deterministic_init(self):
+        a = Dense(6, 4, rng=np.random.default_rng(3))
+        b = Dense(6, 4, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.params["W"], b.params["W"])
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_leaky_relu_values(self):
+        out = LeakyReLU(alpha=0.1).forward(np.array([[-2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[-0.2, 3.0]])
+
+    def test_leaky_relu_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(alpha=-0.5)
+
+    def test_tanh_bounds(self, rng):
+        out = Tanh().forward(rng.normal(0, 10, size=(5, 5)))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_sigmoid_extreme_inputs_are_finite(self):
+        out = Sigmoid().forward(np.array([[-1e4, 1e4]]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = Softmax().forward(rng.normal(size=(6, 9)) * 50)
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(6), atol=1e-12)
+        assert np.all(out >= 0)
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.normal(size=(2, 4))
+        a = Softmax().forward(x)
+        b = Softmax().forward(x + 123.0)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestConv1D:
+    def test_output_length(self, rng):
+        conv = Conv1D(1, 4, kernel_size=3, stride=2, rng=rng)
+        assert conv.output_length(11) == 5
+        out = conv.forward(rng.random((2, 11, 1)))
+        assert out.shape == (2, 5, 4)
+
+    def test_known_convolution(self, rng):
+        conv = Conv1D(1, 1, kernel_size=2, stride=1, rng=rng)
+        conv.params["W"][...] = np.array([[[1.0]], [[2.0]]])
+        conv.params["b"][...] = 0.0
+        x = np.array([[[1.0], [2.0], [3.0]]])
+        out = conv.forward(x)
+        np.testing.assert_allclose(out[0, :, 0], [1 + 4, 2 + 6])
+
+    def test_too_short_input_raises(self, rng):
+        conv = Conv1D(1, 1, kernel_size=5, rng=rng)
+        with pytest.raises(ValueError, match="shorter than kernel"):
+            conv.forward(np.zeros((1, 3, 1)))
+
+    def test_wrong_channels_raises(self, rng):
+        conv = Conv1D(2, 1, kernel_size=2, rng=rng)
+        with pytest.raises(ValueError, match="expected input"):
+            conv.forward(np.zeros((1, 5, 3)))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            Conv1D(1, 1, kernel_size=0)
+        with pytest.raises(ValueError):
+            Conv1D(1, 1, kernel_size=2, stride=0)
+
+
+class TestMaxPool1D:
+    def test_pooling_values(self):
+        pool = MaxPool1D(2)
+        x = np.array([[[1.0], [5.0], [2.0], [2.0]]])
+        out = pool.forward(x)
+        np.testing.assert_allclose(out[0, :, 0], [5.0, 2.0])
+
+    def test_indivisible_length_raises(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            MaxPool1D(3).forward(np.zeros((1, 4, 1)))
+
+    def test_backward_routes_to_max(self):
+        pool = MaxPool1D(2)
+        x = np.array([[[1.0], [5.0], [7.0], [2.0]]])
+        pool.forward(x)
+        grad = pool.backward(np.array([[[1.0], [1.0]]]))
+        np.testing.assert_allclose(grad[0, :, 0], [0.0, 1.0, 1.0, 0.0])
+
+    def test_tie_shares_gradient(self):
+        pool = MaxPool1D(2)
+        x = np.array([[[3.0], [3.0]]])
+        pool.forward(x)
+        grad = pool.backward(np.array([[[1.0]]]))
+        np.testing.assert_allclose(grad[0, :, 0], [0.5, 0.5])
+
+
+class TestFlattenDropout:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.random((3, 4, 5))
+        out = layer.forward(x)
+        assert out.shape == (3, 20)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+    def test_dropout_inference_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.random((4, 6))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_training_zeroes_some(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((10, 100))
+        out = layer.forward(x, training=True)
+        zeros = (out == 0).mean()
+        assert 0.3 < zeros < 0.7
+        # Inverted dropout preserves expectation.
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

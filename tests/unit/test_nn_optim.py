@@ -1,0 +1,125 @@
+"""Tests for optimizers: convergence, state handling, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.losses import mse_loss
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam, Momentum, RMSProp
+
+
+def quadratic_step_count(optimizer_cls, lr, tol=1e-3, max_steps=3000, **kwargs) -> int:
+    """Steps needed to fit y = 2x + 1 with a single Dense layer."""
+    rng = np.random.default_rng(0)
+    layer = Dense(1, 1, rng=rng)
+    opt = optimizer_cls([layer], lr=lr, **kwargs)
+    x = rng.uniform(-1, 1, size=(64, 1))
+    y = 2.0 * x + 1.0
+    for step in range(max_steps):
+        pred = layer.forward(x)
+        loss, grad = mse_loss(pred, y)
+        if loss < tol:
+            return step
+        opt.zero_grad()
+        layer.backward(grad)
+        opt.step()
+    return max_steps
+
+
+@pytest.mark.parametrize(
+    "opt_cls,lr",
+    [(SGD, 0.5), (Momentum, 0.1), (RMSProp, 0.05), (Adam, 0.05)],
+    ids=["sgd", "momentum", "rmsprop", "adam"],
+)
+def test_optimizers_fit_linear_function(opt_cls, lr):
+    steps = quadratic_step_count(opt_cls, lr)
+    assert steps < 3000, f"{opt_cls.__name__} failed to converge"
+
+
+def test_adam_faster_than_sgd_on_ill_conditioned():
+    """Adam's per-parameter scaling should beat plain SGD here."""
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-1, 1, size=(128, 2))
+    x[:, 1] *= 100.0  # wildly different feature scales
+    true_w = np.array([[1.0], [0.01]])
+    y = x @ true_w
+
+    def run(opt_cls, lr):
+        layer = Dense(2, 1, rng=np.random.default_rng(2))
+        opt = opt_cls([layer], lr=lr)
+        for _ in range(300):
+            loss, grad = mse_loss(layer.forward(x), y)
+            opt.zero_grad()
+            layer.backward(grad)
+            opt.step()
+        return mse_loss(layer.forward(x), y)[0]
+
+    assert run(Adam, 0.05) < run(SGD, 1e-5)
+
+
+def test_invalid_learning_rate():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.0)
+    with pytest.raises(ValueError):
+        Adam([], lr=-1.0)
+
+
+def test_momentum_validation():
+    with pytest.raises(ValueError):
+        Momentum([], momentum=1.0)
+
+
+def test_rmsprop_validation():
+    with pytest.raises(ValueError):
+        RMSProp([], decay=1.5)
+
+
+def test_adam_beta_validation():
+    with pytest.raises(ValueError):
+        Adam([], beta1=1.0)
+
+
+class TestGradientClipping:
+    def test_clip_reduces_norm(self, rng):
+        layer = Dense(3, 3, rng=rng)
+        layer.grads["W"][...] = 10.0
+        layer.grads["b"][...] = 10.0
+        opt = SGD([layer], lr=0.1)
+        pre_norm = opt.clip_gradients(1.0)
+        assert pre_norm > 1.0
+        total = sum(float((g**2).sum()) for g in layer.grads.values())
+        assert np.sqrt(total) <= 1.0 + 1e-9
+
+    def test_clip_noop_below_threshold(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        layer.grads["W"][...] = 0.01
+        before = layer.grads["W"].copy()
+        SGD([layer], lr=0.1).clip_gradients(100.0)
+        np.testing.assert_array_equal(layer.grads["W"], before)
+
+    def test_clip_invalid_norm(self, rng):
+        with pytest.raises(ValueError):
+            SGD([Dense(2, 2, rng=rng)], lr=0.1).clip_gradients(0.0)
+
+
+def test_optimizer_updates_in_place(rng):
+    """Parameter arrays must keep their identity (serialisation aliases)."""
+    layer = Dense(2, 2, rng=rng)
+    ref = layer.params["W"]
+    opt = Adam([layer], lr=0.1)
+    layer.forward(np.ones((1, 2)))
+    layer.backward(np.ones((1, 2)))
+    opt.step()
+    assert layer.params["W"] is ref
+
+
+def test_zero_grad_via_optimizer(rng):
+    net = Sequential([Dense(2, 4, rng=rng), Dense(4, 1, rng=rng)])
+    opt = SGD(net.layers, lr=0.1)
+    net.forward(np.ones((3, 2)))
+    net.backward(np.ones((3, 1)))
+    opt.zero_grad()
+    for layer in net.layers:
+        for grad in layer.grads.values():
+            assert np.all(grad == 0)

@@ -1,0 +1,47 @@
+"""Tests for the scheduler factory."""
+
+import pytest
+
+from repro.core.mrsch import MRSchScheduler
+from repro.sched.fcfs import FCFSScheduler
+from repro.sched.ga import GAScheduler
+from repro.sched.registry import available_schedulers, make_scheduler
+from repro.sched.scalar_rl import ScalarRLScheduler
+
+
+def test_available_names():
+    assert set(available_schedulers()) == {
+        "heuristic",
+        "optimization",
+        "scalar_rl",
+        "mrsch",
+    }
+
+
+@pytest.mark.parametrize(
+    "name,cls",
+    [
+        ("heuristic", FCFSScheduler),
+        ("optimization", GAScheduler),
+        ("scalar_rl", ScalarRLScheduler),
+        ("mrsch", MRSchScheduler),
+    ],
+)
+def test_factory_types(name, cls, tiny_system):
+    sched = make_scheduler(name, tiny_system, window_size=4, seed=0)
+    assert isinstance(sched, cls)
+    assert sched.window_size == 4
+
+
+def test_case_insensitive(tiny_system):
+    assert isinstance(make_scheduler("HEURISTIC", tiny_system), FCFSScheduler)
+
+
+def test_unknown_name(tiny_system):
+    with pytest.raises(KeyError, match="unknown scheduler"):
+        make_scheduler("slurm", tiny_system)
+
+
+def test_kwargs_forwarded(tiny_system):
+    sched = make_scheduler("heuristic", tiny_system, backfill=False)
+    assert sched.backfill_enabled is False

@@ -1,0 +1,42 @@
+"""Tests for deterministic RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_deterministic(self):
+        a, b = as_generator(42), as_generator(42)
+        assert a.random() == b.random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_fresh_entropy(self):
+        assert as_generator(None).random() != as_generator(None).random()
+
+
+class TestSpawn:
+    def test_children_independent_and_deterministic(self):
+        kids_a = spawn_generators(7, 3)
+        kids_b = spawn_generators(7, 3)
+        vals_a = [g.random() for g in kids_a]
+        vals_b = [g.random() for g in kids_b]
+        assert vals_a == vals_b
+        assert len(set(vals_a)) == 3  # streams differ from each other
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(5)
+        kids = spawn_generators(parent, 2)
+        assert len(kids) == 2
+        assert kids[0].random() != kids[1].random()
+
+    def test_zero_children(self):
+        assert spawn_generators(1, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)

@@ -1,0 +1,114 @@
+"""Tests for trace splitting and curriculum construction (§III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.sampling import (
+    build_curriculum,
+    mean_interarrival,
+    poisson_resample,
+    real_jobsets,
+    split_trace,
+    synthetic_jobsets,
+)
+from repro.workload.theta import ThetaTraceConfig
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def trace():
+    return [make_job(job_id=i + 1, submit=i * 100.0) for i in range(100)]
+
+
+class TestSplit:
+    def test_fractions(self, trace):
+        train, val, test = split_trace(trace, 0.7, 0.1)
+        assert len(train) == 70
+        assert len(val) == 10
+        assert len(test) == 20
+
+    def test_chronological(self, trace):
+        train, val, test = split_trace(trace)
+        assert max(j.job_id for j in train) < min(j.job_id for j in val)
+        assert max(j.job_id for j in val) < min(j.job_id for j in test)
+
+    def test_rebased_to_zero(self, trace):
+        _, val, test = split_trace(trace)
+        assert min(j.submit_time for j in val) == 0.0
+        assert min(j.submit_time for j in test) == 0.0
+
+    def test_invalid_fractions(self, trace):
+        with pytest.raises(ValueError):
+            split_trace(trace, 0.8, 0.3)
+        with pytest.raises(ValueError):
+            split_trace(trace, -0.1, 0.1)
+
+    def test_copies_returned(self, trace):
+        train, _, _ = split_trace(trace)
+        train[0].submit_time = 12345.0
+        assert trace[0].submit_time == 0.0
+
+
+class TestResample:
+    def test_count_and_ids(self, trace):
+        out = poisson_resample(trace, 37, seed=1)
+        assert len(out) == 37
+        assert [j.job_id for j in out] == list(range(1, 38))
+
+    def test_arrivals_increasing(self, trace):
+        out = poisson_resample(trace, 50, seed=2)
+        submits = [j.submit_time for j in out]
+        assert submits == sorted(submits)
+
+    def test_mean_interarrival_matches_trace(self, trace):
+        out = poisson_resample(trace, 4000, seed=3)
+        gaps = np.diff([j.submit_time for j in out])
+        assert gaps.mean() == pytest.approx(mean_interarrival(trace), rel=0.1)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_resample([], 10)
+
+    def test_mean_interarrival_degenerate(self):
+        assert mean_interarrival([make_job()]) == 600.0
+
+
+class TestJobsets:
+    def test_real_jobsets_partition(self, trace):
+        sets = real_jobsets(trace, 4)
+        assert len(sets) == 4
+        assert sum(len(s) for s in sets) == len(trace)
+        for s in sets:
+            assert min(j.submit_time for j in s) == 0.0
+
+    def test_real_jobsets_validation(self, trace):
+        with pytest.raises(ValueError):
+            real_jobsets(trace, 0)
+
+    def test_synthetic_jobsets_independent(self):
+        cfg = ThetaTraceConfig(total_nodes=32, n_jobs=10)
+        sets = synthetic_jobsets(cfg, 3, 10, seed=4)
+        assert len(sets) == 3
+        assert all(len(s) == 10 for s in sets)
+        # Independent streams: different runtimes across sets.
+        assert sets[0][0].runtime != sets[1][0].runtime
+
+    def test_curriculum_structure(self, trace):
+        cfg = ThetaTraceConfig(total_nodes=32, n_jobs=10)
+        cur = build_curriculum(
+            trace, cfg, n_sampled=2, n_real=2, n_synthetic=3, jobs_per_set=15, seed=5
+        )
+        assert set(cur) == {"sampled", "real", "synthetic"}
+        assert len(cur["sampled"]) == 2
+        assert len(cur["real"]) == 2
+        assert len(cur["synthetic"]) == 3
+        assert all(len(s) == 15 for s in cur["sampled"])
+        assert all(len(s) == 15 for s in cur["synthetic"])
+
+    def test_curriculum_deterministic(self, trace):
+        cfg = ThetaTraceConfig(total_nodes=32, n_jobs=10)
+        a = build_curriculum(trace, cfg, n_sampled=1, n_real=1, n_synthetic=1, seed=6)
+        b = build_curriculum(trace, cfg, n_sampled=1, n_real=1, n_synthetic=1, seed=6)
+        assert [j.runtime for j in a["synthetic"][0]] == [
+            j.runtime for j in b["synthetic"][0]
+        ]

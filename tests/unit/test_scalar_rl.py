@@ -1,0 +1,125 @@
+"""Tests for the scalar-reward policy-gradient baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import ResourcePool
+from repro.sched.scalar_rl import ScalarRLScheduler
+from repro.sim.simulator import Simulator
+from tests.conftest import make_job
+from tests.unit.test_base_sched import make_ctx
+
+
+@pytest.fixture
+def sched(tiny_system):
+    return ScalarRLScheduler(tiny_system, window_size=4, seed=0)
+
+
+class TestConstruction:
+    def test_obs_dim(self, tiny_system):
+        s = ScalarRLScheduler(tiny_system, window_size=4, seed=0)
+        # 4 slots * (2 resources + 2) + 2 global free fractions
+        assert s.obs_dim == 4 * 4 + 2
+
+    def test_default_weights_equal(self, sched):
+        assert sched.reward_weights == {"node": 0.5, "burst_buffer": 0.5}
+
+    def test_weights_must_sum_to_one(self, tiny_system):
+        with pytest.raises(ValueError):
+            ScalarRLScheduler(
+                tiny_system, reward_weights={"node": 0.9, "burst_buffer": 0.9}
+            )
+
+
+class TestEncoding:
+    def test_shapes_and_mask(self, sched, tiny_system):
+        pool = ResourcePool(tiny_system)
+        window = [make_job(job_id=1, nodes=8, bb=4)]
+        ctx = make_ctx(tiny_system, pool, list(window))
+        obs, mask = sched.encode(window, ctx)
+        assert obs.shape == (sched.obs_dim,)
+        assert mask.tolist() == [True, False, False, False]
+
+    def test_request_fractions(self, sched, tiny_system):
+        pool = ResourcePool(tiny_system)
+        window = [make_job(job_id=1, nodes=8, bb=4)]
+        ctx = make_ctx(tiny_system, pool, list(window))
+        obs, _ = sched.encode(window, ctx)
+        assert obs[0] == pytest.approx(8 / 16)
+        assert obs[1] == pytest.approx(4 / 8)
+
+    def test_free_fraction_tail(self, sched, tiny_system):
+        pool = ResourcePool(tiny_system)
+        pool.allocate(make_job(job_id=9, nodes=8), now=0.0)
+        window = [make_job(job_id=1, nodes=1)]
+        ctx = make_ctx(tiny_system, pool, list(window))
+        obs, _ = sched.encode(window, ctx)
+        assert obs[-2] == pytest.approx(0.5)  # node free fraction
+        assert obs[-1] == pytest.approx(1.0)  # bb free fraction
+
+
+class TestReward:
+    def test_fixed_weight_reward(self, sched, tiny_system):
+        pool = ResourcePool(tiny_system)
+        pool.allocate(make_job(job_id=1, nodes=16, bb=0), now=0.0)
+        ctx = make_ctx(tiny_system, pool, [])
+        assert sched.reward(ctx) == pytest.approx(0.5 * 1.0 + 0.5 * 0.0)
+
+
+class TestPolicy:
+    def test_select_returns_window_job(self, sched, tiny_system):
+        pool = ResourcePool(tiny_system)
+        window = [make_job(job_id=i, nodes=1) for i in (1, 2, 3)]
+        ctx = make_ctx(tiny_system, pool, list(window))
+        job = sched.select(window, ctx)
+        assert job in window
+
+    def test_eval_mode_deterministic(self, tiny_system):
+        pool = ResourcePool(tiny_system)
+        window = [make_job(job_id=i, nodes=1) for i in (1, 2, 3)]
+        s = ScalarRLScheduler(tiny_system, window_size=4, seed=5)
+        ctx = make_ctx(tiny_system, pool, list(window))
+        picks = {s.select(window, ctx).job_id for _ in range(10)}
+        assert len(picks) == 1
+
+    def test_invalid_slots_never_sampled(self, tiny_system):
+        s = ScalarRLScheduler(tiny_system, window_size=4, seed=6)
+        s.training = True
+        pool = ResourcePool(tiny_system)
+        window = [make_job(job_id=1, nodes=1), make_job(job_id=2, nodes=1)]
+        ctx = make_ctx(tiny_system, pool, list(window))
+        for _ in range(25):
+            assert s.select(window, ctx).job_id in (1, 2)
+
+
+class TestTraining:
+    def test_finish_episode_empty(self, sched):
+        assert sched.finish_episode() == 0.0
+
+    def test_finish_episode_updates_params(self, tiny_system, theta_trace):
+        s = ScalarRLScheduler(tiny_system, window_size=4, seed=7)
+        before = s.policy.state_dict()
+        sim = Simulator(tiny_system, s, record_timeline=False)
+        s.training = True
+        s.start_episode()
+        jobs = [j.copy() for j in theta_trace[:30]]
+        for j in jobs:
+            j.requests["node"] = min(j.requests["node"], 16)
+            j.requests["burst_buffer"] = 0
+        sim.run(jobs)
+        assert len(s._episode) > 0
+        loss = s.finish_episode()
+        after = s.policy.state_dict()
+        changed = any(
+            not np.array_equal(before[k], after[k]) for k in before
+        )
+        assert changed
+        assert s._episode == []
+        assert np.isfinite(loss)
+
+    def test_episode_buffer_only_fills_in_training(self, sched, tiny_system):
+        pool = ResourcePool(tiny_system)
+        window = [make_job(job_id=1, nodes=1)]
+        ctx = make_ctx(tiny_system, pool, list(window))
+        sched.select(window, ctx)
+        assert sched._episode == []
