@@ -5,6 +5,8 @@ schedulable resource and prints the five-axis Kiviat tables (including
 Avg_SysPower). Benchmarks a three-resource evaluation replay.
 """
 
+from bench_util import bench_workers
+
 from repro.experiments.figures import fig10_three_resources
 from repro.experiments.harness import ExperimentConfig, make_method, prepare_base_trace
 from repro.sched.ga import NSGA2Config
@@ -23,7 +25,9 @@ def test_fig10_three_resources(benchmark, bench_config, save_result):
         ga_config=NSGA2Config(population=8, generations=3),
     )
     out = fig10_three_resources(
-        config, methods=("mrsch", "optimization", "scalar_rl", "heuristic")
+        config,
+        methods=("mrsch", "optimization", "scalar_rl", "heuristic"),
+        n_workers=bench_workers(),
     )
     save_result("fig10_three_resources", out["text"])
 

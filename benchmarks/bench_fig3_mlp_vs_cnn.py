@@ -8,6 +8,8 @@ cost difference).
 
 import numpy as np
 
+from bench_util import bench_workers
+
 from repro.experiments.figures import fig3_mlp_vs_cnn
 from repro.experiments.harness import ExperimentConfig, make_method
 from repro.sched.ga import NSGA2Config
@@ -24,7 +26,7 @@ def test_fig3_mlp_vs_cnn(benchmark, bench_config, save_result):
         jobs_per_trainset=50,
         ga_config=NSGA2Config(population=8, generations=3),
     )
-    out = fig3_mlp_vs_cnn(config)
+    out = fig3_mlp_vs_cnn(config, n_workers=min(2, bench_workers()))
     save_result("fig3_mlp_vs_cnn", out["text"])
 
     # Benchmark: one agent decision with the MLP state module.

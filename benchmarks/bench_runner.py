@@ -1,0 +1,114 @@
+"""Runner benchmark: serial vs parallel grid execution + the fast path.
+
+Two demonstrations:
+
+1. **Engine speedup** — the 4-method × 3-seed comparison grid replayed
+   serially and through a 4-worker process pool. Parallel and serial
+   runs must produce *identical* metric values (the engine's core
+   guarantee, asserted here and in
+   ``tests/integration/test_runner_determinism.py``); wall-clock speedup
+   is reported, and asserted ≥ 2× when the machine actually has ≥ 4
+   usable cores (a single-core container can demonstrate determinism
+   but not parallelism).
+2. **Simulator fast path** — per-replay latency of one evaluation run,
+   exercising the incremental pool accounting and the folded DFP
+   scoring path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from bench_util import bench_workers
+
+from repro.exp import ExperimentRunner, grid_tasks
+from repro.experiments.harness import ExperimentConfig, make_method, prepare_base_trace
+from repro.experiments.report import format_table
+from repro.sched.ga import NSGA2Config
+from repro.sim.simulator import Simulator
+from repro.workload.suites import build_workload
+
+METHODS = ["mrsch", "optimization", "scalar_rl", "heuristic"]
+N_SEEDS = 3
+PARALLEL_WORKERS = 4
+
+
+def _grid_config() -> ExperimentConfig:
+    """Evaluation-only sizing: big enough that a cell takes real work."""
+    return ExperimentConfig(
+        nodes=128,
+        bb_units=64,
+        n_jobs=120,
+        window_size=10,
+        seed=2022,
+        ga_config=NSGA2Config(population=10, generations=4),
+    )
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_runner_parallel_speedup(save_result):
+    config = _grid_config()
+    tasks = grid_tasks(METHODS, ["S3"], config, n_seeds=N_SEEDS, train=False)
+    assert len(tasks) == len(METHODS) * N_SEEDS
+
+    t0 = time.perf_counter()
+    serial = ExperimentRunner(n_workers=1).run(tasks)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = ExperimentRunner(n_workers=PARALLEL_WORKERS).run(tasks)
+    t_parallel = time.perf_counter() - t0
+
+    # The engine's core guarantee: worker count never changes a metric.
+    for s, p in zip(serial, parallel):
+        assert s.key == p.key
+        assert s.metrics["S3"].full_dict() == p.metrics["S3"].full_dict(), (
+            f"parallel run diverged for {s.method}@{s.seed}"
+        )
+
+    speedup = t_serial / t_parallel
+    cores = _usable_cores()
+    rows = {
+        "serial (1 worker)": [t_serial, 1.0],
+        f"parallel ({PARALLEL_WORKERS} workers)": [t_parallel, speedup],
+    }
+    text = format_table(
+        f"Runner — {len(tasks)}-cell grid wall clock ({cores} usable cores)",
+        ["seconds", "speedup"],
+        rows,
+    )
+    save_result("bench_runner_speedup", text)
+    if cores >= PARALLEL_WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup on {cores} cores, got {speedup:.2f}x"
+        )
+
+
+def test_single_replay_fast_path(benchmark, save_result):
+    config = _grid_config()
+    system = config.system()
+    base = prepare_base_trace(config)
+    jobs = build_workload("S3", base, system, seed=config.seed)
+    sched = make_method("mrsch", system, config)
+    result = benchmark(lambda: Simulator(system, sched).run(jobs))
+    assert result.metrics.n_jobs == config.n_jobs
+    save_result(
+        "bench_runner_replay",
+        format_table(
+            "Single mrsch replay (fast path)",
+            ["ms"],
+            {"per replay": [benchmark.stats.stats.mean * 1000.0]},
+        ),
+    )
+
+
+def test_runner_default_workers_configured():
+    """The shared grid fixture fans out when cores are available."""
+    assert bench_workers() >= 1

@@ -1,0 +1,24 @@
+"""Shared benchmark helpers importable by name from bench modules.
+
+Lives outside conftest.py because pytest registers conftest modules
+under the bare name ``conftest`` — importing helpers from there is
+load-order dependent when tests/ and benchmarks/ are collected together.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["bench_workers"]
+
+
+def bench_workers() -> int:
+    """Worker processes for grid benchmarks.
+
+    ``REPRO_BENCH_WORKERS`` overrides; the default uses the machine's
+    cores (capped at 8 — the grids are at most a handful of cells wide).
+    """
+    env = os.environ.get("REPRO_BENCH_WORKERS")
+    if env is not None:
+        return max(1, int(env))
+    return min(8, os.cpu_count() or 1)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from pathlib import Path
 
 import pytest
+from bench_util import bench_workers
 
 from repro.experiments.harness import ExperimentConfig, run_comparison
 from repro.sched.ga import NSGA2Config
@@ -37,11 +38,16 @@ def bench_config() -> ExperimentConfig:
 
 @pytest.fixture(scope="session")
 def comparison_grid(bench_config):
-    """The 4-method × S1–S5 grid shared by the Fig 5/6/7 benchmarks."""
+    """The 4-method × S1–S5 grid shared by the Fig 5/6/7 benchmarks.
+
+    Runs on the parallel experiment engine — method cells fan out over
+    ``bench_workers()`` processes (identical results at any width).
+    """
     return run_comparison(
         ["S1", "S2", "S3", "S4", "S5"],
         ["mrsch", "optimization", "scalar_rl", "heuristic"],
         bench_config,
+        n_workers=bench_workers(),
     )
 
 

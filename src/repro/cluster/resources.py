@@ -138,36 +138,50 @@ class ResourcePool:
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
+        self._names: list[str] = config.names
         self._busy: dict[str, np.ndarray] = {
             spec.name: np.zeros(spec.units, dtype=bool) for spec in config.resources
         }
         self._est_free: dict[str, np.ndarray] = {
             spec.name: np.zeros(spec.units) for spec in config.resources
         }
+        # Incremental accounting: free-unit counters maintained by
+        # allocate/release so the hot-path queries (can_fit, free_units,
+        # utilization — called for every window job at every scheduling
+        # instance) are O(resources) instead of O(units).
+        self._capacity: dict[str, int] = {
+            spec.name: spec.units for spec in config.resources
+        }
+        self._free: dict[str, int] = dict(self._capacity)
+        self._caps_arr = np.array(
+            [spec.units for spec in config.resources], dtype=float
+        )
         #: job_id -> {resource: unit index array}
         self._allocations: dict[int, dict[str, np.ndarray]] = {}
 
     # -- queries ---------------------------------------------------------
 
     def free_units(self, name: str) -> int:
-        return int((~self._busy[name]).sum())
+        return self._free[name]
 
     def busy_units(self, name: str) -> int:
-        return int(self._busy[name].sum())
+        return self._capacity[name] - self._free[name]
 
     def utilization(self, name: str) -> float:
         """Instantaneous busy fraction of a resource."""
-        busy = self._busy[name]
-        return float(busy.sum() / busy.size)
+        capacity = self._capacity[name]
+        return (capacity - self._free[name]) / capacity
 
     def utilizations(self) -> np.ndarray:
         """Instantaneous utilization of every resource, config order."""
-        return np.array([self.utilization(n) for n in self.config.names])
+        free = np.array([self._free[n] for n in self._names], dtype=float)
+        return (self._caps_arr - free) / self._caps_arr
 
     def can_fit(self, job: Job) -> bool:
         """True when every requested resource has enough free units."""
+        free = self._free
         return all(
-            self.free_units(name) >= amount
+            free[name] >= amount
             for name, amount in job.requests.items()
             if amount > 0
         )
@@ -198,6 +212,7 @@ class ResourcePool:
             free_idx = np.flatnonzero(~self._busy[name])[:amount]
             self._busy[name][free_idx] = True
             self._est_free[name][free_idx] = est
+            self._free[name] -= amount
             grant[name] = free_idx
         self._allocations[job.job_id] = grant
         job.allocation = {k: v.tolist() for k, v in grant.items()}
@@ -210,11 +225,13 @@ class ResourcePool:
         for name, idx in grant.items():
             self._busy[name][idx] = False
             self._est_free[name][idx] = 0.0
+            self._free[name] += idx.size
 
     def reset(self) -> None:
         for name in self.config.names:
             self._busy[name][...] = False
             self._est_free[name][...] = 0.0
+            self._free[name] = self._capacity[name]
         self._allocations.clear()
 
     # -- scheduler support ---------------------------------------------------

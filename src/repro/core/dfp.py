@@ -272,6 +272,68 @@ class DFPNetwork:
         normalised = actions - actions.mean(axis=1, keepdims=True)
         return expectation[:, None, :] + normalised
 
+    def forward_scores(
+        self,
+        state: np.ndarray,
+        measurement: np.ndarray,
+        goal: np.ndarray,
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        """Goal-weighted action scores, (B, n_actions) — the inference
+        fast path.
+
+        The final layer of each stream is linear and the dueling
+        normalisation commutes with a dot product, so the objective
+        weights fold into the last Dense layer:
+        ``(h @ W + b) @ w == h @ (W @ w) + b @ w``. That collapses the
+        widest matmul of the forward pass (hidden → pred_dim per action)
+        to a single vector product and never materialises the full
+        (B, n_actions, pred_dim) prediction tensor. Numerically equal to
+        ``forward(...) @ weights`` up to float re-association.
+        """
+        c = self.config
+        s = self.state_net.forward(state)
+        m = self.meas_net.forward(measurement)
+        g = self.goal_net.forward(goal)
+        joint = np.concatenate([s, m, g], axis=1)
+        batch = joint.shape[0]
+
+        exp_h = joint
+        for layer in self.expectation_stream.layers[:-1]:
+            exp_h = layer.forward(exp_h)
+        exp_last = self.expectation_stream.layers[-1]
+        expectation = exp_h @ (exp_last.params["W"] @ weights) + (
+            exp_last.params["b"] @ weights
+        )  # (B,)
+
+        act_last = self.action_stream.layers[-1]
+        if c.action_stream == "shared":
+            slots = state[:, : c.n_actions * c.slot_dim].reshape(
+                batch, c.n_actions, c.slot_dim
+            )
+            head_in = np.concatenate(
+                [np.repeat(joint[:, None, :], c.n_actions, axis=1), slots],
+                axis=2,
+            ).reshape(batch * c.n_actions, self._joint_dim + c.slot_dim)
+            act_h = head_in
+            for layer in self.action_stream.layers[:-1]:
+                act_h = layer.forward(act_h)
+            actions = (
+                act_h @ (act_last.params["W"] @ weights)
+                + act_last.params["b"] @ weights
+            ).reshape(batch, c.n_actions)
+        else:
+            act_h = joint
+            for layer in self.action_stream.layers[:-1]:
+                act_h = layer.forward(act_h)
+            w_fold = act_last.params["W"].reshape(
+                -1, c.n_actions, c.pred_dim
+            ) @ weights  # (in_features, n_actions)
+            b_fold = act_last.params["b"].reshape(c.n_actions, c.pred_dim) @ weights
+            actions = act_h @ w_fold + b_fold
+        actions = actions - actions.mean(axis=1, keepdims=True)
+        return expectation[:, None] + actions
+
     def backward(self, grad_pred: np.ndarray) -> None:
         """Backpropagate d(loss)/d(prediction) through both streams."""
         c = self.config
@@ -349,6 +411,10 @@ class DFPAgent:
         self.optimizer = Adam(self.network.layers, lr=config.lr)
         self.replay: deque[Experience] = deque(maxlen=config.replay_capacity)
         self.epsilon = config.epsilon_start
+        # Goal vectors are constant within a scheduling instance but the
+        # agent scores once per selection — memoise the last flattening.
+        self._weights_key: bytes | None = None
+        self._weights: np.ndarray | None = None
 
     # -- acting ------------------------------------------------------------
 
@@ -359,16 +425,44 @@ class DFPAgent:
         product of predicted measurement changes with the goal, weighted
         over temporal offsets.
         """
-        c = self.config
-        w = np.asarray(c.temporal_weights)
-        return (w[:, None] * goal[None, :]).reshape(c.pred_dim)
+        key = goal.tobytes()
+        if key != self._weights_key:
+            c = self.config
+            w = np.asarray(c.temporal_weights)
+            self._weights = (w[:, None] * goal[None, :]).reshape(c.pred_dim)
+            self._weights_key = key
+        # Copy so a caller mutating the result cannot poison the cache.
+        return self._weights.copy()
 
     def action_scores(
         self, state: np.ndarray, measurement: np.ndarray, goal: np.ndarray
     ) -> np.ndarray:
         """Goal-weighted predicted outcomes, one score per action."""
-        preds = self.network.forward(state[None, :], measurement[None, :], goal[None, :])
-        return preds[0] @ self.objective_weights(goal)
+        scores = self.network.forward_scores(
+            state[None, :],
+            measurement[None, :],
+            goal[None, :],
+            self.objective_weights(goal),
+        )
+        return scores[0]
+
+    def action_scores_batch(
+        self, states: np.ndarray, measurements: np.ndarray, goals: np.ndarray
+    ) -> np.ndarray:
+        """Score a whole batch of decision points in one forward pass.
+
+        Accepts (B, ·) arrays and returns (B, n_actions). Rows may carry
+        *different* goals, so the objective weights cannot be folded into
+        the network; the full prediction tensor is contracted per row
+        instead. One batched pass amortises the network's Python/NumPy
+        dispatch overhead over B decision points — the fast path for
+        offline policy evaluation and replay scoring.
+        """
+        c = self.config
+        preds = self.network.forward(states, measurements, goals)  # (B, A, P)
+        w = np.asarray(c.temporal_weights)
+        weights = (w[None, :, None] * goals[:, None, :]).reshape(-1, c.pred_dim)
+        return np.einsum("bap,bp->ba", preds, weights)
 
     def act(
         self,

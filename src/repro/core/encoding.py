@@ -89,16 +89,24 @@ class StateEncoder:
         state = np.zeros(self.state_dim)
         per = self.job_dim
         names = self.system.names
-        free = np.array([pool.free_units(n) for n in names], dtype=float)
-        for slot, job in enumerate(window):
-            base = slot * per
-            req = np.array([job.request(n) for n in names], dtype=float)
-            state[base : base + self.n_resources] = req / self._caps
-            state[base + self.n_resources] = self._squash(job.walltime)
-            state[base + self.n_resources + 1] = self._squash(now - job.submit_time)
+        if window:
+            # One vectorised fill of every populated slot's feature block.
+            free = np.array([pool.free_units(n) for n in names], dtype=float)
+            reqs = np.array(
+                [[job.request(n) for n in names] for job in window], dtype=float
+            )
+            slots = state[: len(window) * per].reshape(len(window), per)
+            slots[:, : self.n_resources] = reqs / self._caps
+            slots[:, self.n_resources] = self._squash(
+                np.array([job.walltime for job in window])
+            )
+            slots[:, self.n_resources + 1] = self._squash(
+                now - np.array([job.submit_time for job in window])
+            )
             if not self.paper_layout:
-                shortfall = np.maximum(req - free, 0.0) / self._caps
-                state[base + self.n_resources + 2 : base + per] = shortfall
+                slots[:, self.n_resources + 2 :] = (
+                    np.maximum(reqs - free, 0.0) / self._caps
+                )
 
         offset = per * self.window_size
         for name in names:

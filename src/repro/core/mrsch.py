@@ -100,6 +100,9 @@ class MRSchScheduler(Scheduler):
         #: Fig. 1 argues against; kept for the ablation benchmark.
         self.dynamic_goal = dynamic_goal
         self.training = False
+        self._caps = np.array(
+            [system.capacity(n) for n in system.names], dtype=float
+        )
         #: (time, goal vector) samples of the current run — Figs 8–9
         self.goal_log: list[tuple[float, np.ndarray]] = []
         self._goal = np.full(system.n_resources, 1.0 / system.n_resources)
@@ -128,22 +131,20 @@ class MRSchScheduler(Scheduler):
         The class gap is wide enough that DFP scores reorder within a
         class but cannot promote a non-fitting grab over a fitting one.
         """
-        caps = np.array(
-            [ctx.system.capacity(n) for n in ctx.system.names], dtype=float
+        names = ctx.system.names
+        n = len(window)
+        reqs = np.array(
+            [[job.request(name) for name in names] for job in window], dtype=float
+        )
+        demand = (reqs / self._caps) @ self._goal
+        fits = np.fromiter(
+            (ctx.pool.can_fit(job) for job in window), dtype=bool, count=n
         )
         prior = np.zeros(self.window_size)
-        for slot, job in enumerate(window):
-            req = np.array(
-                [job.request(n) for n in ctx.system.names], dtype=float
-            ) / caps
-            demand = float(self._goal @ req)
-            if ctx.pool.can_fit(job):
-                prior[slot] = 1.5 - demand
-            else:
-                # Queue order = age order: the oldest non-fitting job
-                # outranks younger ones by a full tie-break margin, so
-                # the reservation always protects the longest waiter.
-                prior[slot] = -1.5 - 0.1 * slot
+        # Queue order = age order: the oldest non-fitting job outranks
+        # younger ones by a full tie-break margin, so the reservation
+        # always protects the longest waiter.
+        prior[:n] = np.where(fits, 1.5 - demand, -1.5 - 0.1 * np.arange(n))
         return prior
 
     #: cap on the normalised DFP contribution under the guided policy —

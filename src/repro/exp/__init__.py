@@ -1,0 +1,27 @@
+"""Parallel experiment engine: grid fan-out, caching, checkpointing.
+
+The execution backbone for every (method × workload × seed) sweep in the
+repository — see :class:`~repro.exp.runner.ExperimentRunner`.
+"""
+
+from repro.exp.cache import ResultCache
+from repro.exp.records import ExperimentTask, TaskResult, task_key
+from repro.exp.runner import (
+    ExperimentRunner,
+    grid_tasks,
+    pivot_results,
+    spawn_grid_seeds,
+)
+from repro.exp.tasks import execute_task
+
+__all__ = [
+    "ExperimentRunner",
+    "ExperimentTask",
+    "TaskResult",
+    "ResultCache",
+    "execute_task",
+    "grid_tasks",
+    "pivot_results",
+    "spawn_grid_seeds",
+    "task_key",
+]

@@ -1,0 +1,72 @@
+"""On-disk result cache keyed by task config hash.
+
+Layout: one JSON file per task under the cache directory,
+``<cache_dir>/<key>.json``, holding a :class:`TaskResult` rendered by
+:meth:`TaskResult.to_json_dict`. Writes go through a temp file +
+``os.replace`` so concurrent workers (or interrupted runs) can never
+leave a torn entry — readers either see a complete result or nothing.
+
+Because the key hashes the *entire* task (method, workloads, seed,
+config, training flags), a cache hit is exact: same inputs, same
+deterministic pipeline, same metrics. Changing any knob changes the key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.exp.records import TaskResult
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of per-task JSON result files."""
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> TaskResult | None:
+        """Load a cached result, or None on miss/corruption."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            result = TaskResult.from_json_dict(data)
+        except (json.JSONDecodeError, KeyError, ValueError):
+            # A torn or stale-schema entry counts as a miss; the task
+            # reruns and the entry is rewritten.
+            return None
+        result.source = "cache"
+        return result
+
+    def put(self, result: TaskResult) -> None:
+        """Atomically persist ``result`` under its key."""
+        payload = json.dumps(result.to_json_dict(), sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, self._path(result.key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def clear(self) -> None:
+        for path in self.cache_dir.glob("*.json"):
+            path.unlink()

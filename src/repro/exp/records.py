@@ -1,0 +1,177 @@
+"""Structured task/result records for the experiment engine.
+
+An :class:`ExperimentTask` is one cell of a (method × workloads × seed)
+grid: it fully determines a scheduler instantiation, an optional
+curriculum-training pass and the ordered evaluation of one or more
+workloads. Tasks are frozen dataclasses so they pickle cleanly across
+process boundaries and hash stably for the on-disk result cache.
+
+A :class:`TaskResult` is the matching structured output: one
+:class:`~repro.sim.metrics.MetricReport` per evaluated workload plus
+provenance (wall time, worker pid, whether the result came from a live
+run, the cache or a checkpoint). Both directions of JSON conversion are
+lossless, which is what makes caching and resumable checkpointing safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sim.metrics import MetricReport
+
+if TYPE_CHECKING:
+    from repro.experiments.harness import ExperimentConfig
+
+__all__ = ["ExperimentTask", "TaskResult", "task_key", "canonical_json"]
+
+#: bump when task execution semantics change incompatibly — stale cache
+#: entries written under an older scheme are then never reused.
+TASK_SCHEMA_VERSION = 1
+
+
+def _canonicalize(obj):
+    """Reduce ``obj`` to JSON-stable primitives (dataclasses included)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            **{
+                f.name: _canonicalize(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, dict):
+        return {str(k): _canonicalize(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonicalize(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalise {type(obj).__name__} for hashing")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON rendering used for config hashing."""
+    return json.dumps(_canonicalize(obj), sort_keys=True, separators=(",", ":"))
+
+
+#: task fields that determine what execute_task computes — `label` is
+#: display provenance, deliberately excluded so relabelling a cell still
+#: hits the cache.
+_SEMANTIC_FIELDS = ("method", "workloads", "seed", "config", "train", "case_study", "extra")
+
+
+def task_key(task: "ExperimentTask") -> str:
+    """Stable hex digest identifying a task's semantic configuration."""
+    payload = canonical_json(
+        {
+            "schema": TASK_SCHEMA_VERSION,
+            "task": {f: getattr(task, f) for f in _SEMANTIC_FIELDS},
+        }
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One self-contained grid cell.
+
+    Parameters
+    ----------
+    method:
+        Paper method name (see :func:`repro.sched.registry.make_scheduler`).
+    workloads:
+        Workload specs evaluated *in order* by one scheduler instance, so
+        train-once/evaluate-many semantics (and the scheduler's RNG
+        stream across workloads) match the serial harness exactly.
+    seed:
+        Root seed of this cell. It overrides ``config.seed``, so one
+        config fans out over many seeds without copies.
+    config:
+        The :class:`~repro.experiments.harness.ExperimentConfig` sizing.
+    train:
+        Curriculum-train trainable methods before evaluation.
+    case_study:
+        Use the §V-E three-resource (power-extended) system and the
+        case-study workload builder.
+    extra:
+        Additional ``make_scheduler`` keyword arguments as a tuple of
+        (name, value) pairs; values must be JSON primitives so the task
+        stays hashable (e.g. ``(("state_module", "cnn"),)``).
+    label:
+        Display name for result pivoting; defaults to ``method``. Lets
+        two cells of the same method (e.g. an MLP-vs-CNN ablation)
+        coexist in one grid.
+    """
+
+    method: str
+    workloads: tuple[str, ...]
+    seed: int
+    config: "ExperimentConfig"
+    train: bool = False
+    case_study: bool = False
+    extra: tuple[tuple[str, object], ...] = ()
+    label: str = ""
+
+    @property
+    def display_name(self) -> str:
+        return self.label or self.method
+
+    def key(self) -> str:
+        return task_key(self)
+
+
+@dataclass
+class TaskResult:
+    """Structured outcome of one executed (or recalled) task."""
+
+    key: str
+    method: str
+    seed: int
+    workloads: tuple[str, ...]
+    metrics: dict[str, MetricReport]
+    wall_time: float
+    worker_pid: int = field(default_factory=os.getpid)
+    #: "run" (executed now), "cache" (result cache hit) or
+    #: "checkpoint" (restored while resuming an interrupted grid)
+    source: str = "run"
+    label: str = ""
+
+    @property
+    def display_name(self) -> str:
+        return self.label or self.method
+
+    def report(self, workload: str) -> MetricReport:
+        return self.metrics[workload]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "method": self.method,
+            "seed": self.seed,
+            "workloads": list(self.workloads),
+            "metrics": {w: r.full_dict() for w, r in self.metrics.items()},
+            "wall_time": self.wall_time,
+            "worker_pid": self.worker_pid,
+            "source": self.source,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "TaskResult":
+        return cls(
+            key=data["key"],
+            method=data["method"],
+            seed=int(data["seed"]),
+            workloads=tuple(data["workloads"]),
+            metrics={
+                w: MetricReport.from_dict(r) for w, r in data["metrics"].items()
+            },
+            wall_time=float(data["wall_time"]),
+            worker_pid=int(data.get("worker_pid", 0)),
+            source=data.get("source", "run"),
+            label=data.get("label", ""),
+        )

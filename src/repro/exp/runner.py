@@ -1,0 +1,284 @@
+"""The parallel experiment engine.
+
+:class:`ExperimentRunner` fans a list of :class:`ExperimentTask` cells
+out over a :class:`~concurrent.futures.ProcessPoolExecutor` (or runs
+them inline with ``n_workers=1``), with three layers of reuse:
+
+1. **Result cache** — an on-disk store keyed by the task's config hash;
+   identical cells across runs (and across grids) are never recomputed.
+2. **Checkpoint** — a JSONL journal of completed cells appended as the
+   grid runs; re-invoking the same grid after an interruption restores
+   finished cells and executes only the remainder.
+3. **Deduplication** — identical cells inside one submission execute
+   once and share the result.
+
+Determinism: the serial and parallel paths call the same
+:func:`~repro.exp.tasks.execute_task`, and every cell's randomness
+derives from its own seed, so worker count and completion order cannot
+change any metric value (``tests/integration/test_runner_determinism.py``
+locks this down). Grid seeds are spawned per-cell from one root
+``numpy.random.SeedSequence`` so seed streams are independent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+
+import numpy as np
+
+from repro.exp.cache import ResultCache
+from repro.exp.records import ExperimentTask, TaskResult
+from repro.exp.tasks import execute_task
+
+__all__ = ["ExperimentRunner", "grid_tasks", "spawn_grid_seeds", "pivot_results"]
+
+
+def spawn_grid_seeds(root_seed: int, n: int) -> list[int]:
+    """Derive ``n`` independent per-cell seeds from one root seed.
+
+    Children are spawned from a :class:`numpy.random.SeedSequence`, so
+    the streams are statistically independent, reproducible, and stable
+    under grid reordering (cell ``i`` always receives the same seed).
+    """
+    children = np.random.SeedSequence(root_seed).spawn(n)
+    return [int(c.generate_state(1, dtype=np.uint32)[0]) for c in children]
+
+
+def grid_tasks(
+    methods,
+    workloads,
+    config,
+    seeds=None,
+    n_seeds: int = 1,
+    train: bool = False,
+    case_study: bool = False,
+) -> list[ExperimentTask]:
+    """Build the (method × seed) cells of a grid, workloads rolled in.
+
+    Each cell evaluates every workload in order with one scheduler
+    instance (train-once / evaluate-many, matching the paper's setup of
+    one trained agent scored on S1–S5). ``seeds`` fixes the seed axis
+    explicitly; otherwise ``n_seeds`` independent seeds are spawned from
+    ``config.seed`` (``n_seeds=1`` reuses ``config.seed`` itself so a
+    plain comparison grid matches the serial harness bit-for-bit).
+    """
+    if seeds is None:
+        seeds = [config.seed] if n_seeds == 1 else spawn_grid_seeds(config.seed, n_seeds)
+    return [
+        ExperimentTask(
+            method=method,
+            workloads=tuple(workloads),
+            seed=int(seed),
+            config=config,
+            train=train,
+            case_study=case_study,
+        )
+        for seed in seeds
+        for method in methods
+    ]
+
+
+def pivot_results(results) -> dict:
+    """Pivot task results into ``{workload: {method: report}}``.
+
+    The method axis uses each result's display name (its task label, or
+    the method name); with a multi-seed grid it becomes
+    ``"name@seed"`` so no cell is silently overwritten.
+    """
+    seeds = {r.seed for r in results}
+    out: dict = {}
+    claimed: dict[tuple[str, str], str] = {}
+    for result in results:
+        name = result.display_name
+        label = name if len(seeds) == 1 else f"{name}@{result.seed}"
+        for workload, report in result.metrics.items():
+            prior = claimed.setdefault((workload, label), result.key)
+            if prior != result.key:
+                raise ValueError(
+                    f"two distinct cells pivot to {label!r} on {workload!r}; "
+                    "set ExperimentTask.label to disambiguate"
+                )
+            out.setdefault(workload, {})[label] = report
+    return out
+
+
+class ExperimentRunner:
+    """Serial/parallel executor for experiment grids.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes; ``1`` runs inline (no pool, no pickling) and
+        ``None`` uses the machine's CPU count.
+    cache_dir:
+        Enable the on-disk result cache at this directory.
+    checkpoint_path:
+        Enable resumable checkpointing: completed cells are appended to
+        this JSONL file as they finish, and a later run with the same
+        path skips them.
+    mp_start_method:
+        Process start method; default "fork" where available (cheap,
+        inherits the warm interpreter) and "spawn" elsewhere.
+    """
+
+    def __init__(
+        self,
+        n_workers: int | None = 1,
+        cache_dir: str | os.PathLike | None = None,
+        checkpoint_path: str | os.PathLike | None = None,
+        mp_start_method: str | None = None,
+    ) -> None:
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        if mp_start_method is None:
+            mp_start_method = (
+                "fork" if sys.platform.startswith("linux") else "spawn"
+            )
+        self.mp_start_method = mp_start_method
+        #: keys already present in the journal during the current run()
+        self._journaled_keys: set[str] = set()
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _load_checkpoint(self) -> dict[str, TaskResult]:
+        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+            return {}
+        done: dict[str, TaskResult] = {}
+        valid_lines: list[str] = []
+        torn = False
+        with open(self.checkpoint_path) as handle:
+            for line in handle:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    result = TaskResult.from_json_dict(json.loads(stripped))
+                except (json.JSONDecodeError, KeyError, ValueError):
+                    torn = True  # torn final line of an interrupted run
+                    continue
+                result.source = "checkpoint"
+                done[result.key] = result
+                valid_lines.append(stripped)
+        if torn:
+            # Rewrite the journal without the torn fragment so later
+            # appends extend a clean line instead of merging into it.
+            fd, tmp = tempfile.mkstemp(
+                dir=self.checkpoint_path.parent, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w") as handle:
+                handle.write("".join(line + "\n" for line in valid_lines))
+            os.replace(tmp, self.checkpoint_path)
+        return done
+
+    def _append_checkpoint(self, result: TaskResult) -> None:
+        if self.checkpoint_path is None:
+            return
+        self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.checkpoint_path, "a") as handle:
+            handle.write(json.dumps(result.to_json_dict(), sort_keys=True) + "\n")
+            handle.flush()
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, tasks: list[ExperimentTask]) -> list[TaskResult]:
+        """Execute ``tasks``; returns results aligned with input order."""
+        keys = [task.key() for task in tasks]
+        key_set = set(keys)
+        journaled = self._load_checkpoint()
+        self._journaled_keys = set(journaled)
+        resolved = {k: v for k, v in journaled.items() if k in key_set}
+        if self.cache is not None:
+            for key in keys:
+                if key not in resolved:
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        self._record(resolved, hit)
+
+        pending: dict[str, ExperimentTask] = {}
+        for task, key in zip(tasks, keys):
+            if key not in resolved and key not in pending:
+                pending[key] = task
+
+        if pending:
+            if self.n_workers == 1 or len(pending) == 1:
+                for key, task in pending.items():
+                    self._record(resolved, execute_task(task))
+            else:
+                self._run_pool(pending, resolved)
+
+        # Backfill checkpoint-restored cells into the cache so the two
+        # recall layers stay symmetric: every resolved cell ends up in
+        # both the journal and (when enabled) the cache.
+        if self.cache is not None:
+            for key in key_set:
+                if resolved[key].source == "checkpoint" and key not in self.cache:
+                    self.cache.put(resolved[key])
+        # Labels are display provenance, not part of the key — restamp
+        # each recalled/shared result with the requesting task's label.
+        out = []
+        for task, key in zip(tasks, keys):
+            result = resolved[key]
+            if result.label != task.label:
+                result = dataclasses.replace(result, label=task.label)
+            out.append(result)
+        return out
+
+    def _record(self, resolved: dict[str, TaskResult], result: TaskResult) -> None:
+        """Resolve a live or cache-recalled result: journal + cache it."""
+        resolved[result.key] = result
+        if result.key not in self._journaled_keys:
+            self._append_checkpoint(result)
+            self._journaled_keys.add(result.key)
+        if self.cache is not None and result.source == "run":
+            self.cache.put(result)
+
+    def _run_pool(
+        self, pending: dict[str, ExperimentTask], resolved: dict[str, TaskResult]
+    ) -> None:
+        context = multiprocessing.get_context(self.mp_start_method)
+        workers = min(self.n_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = {pool.submit(execute_task, task) for task in pending.values()}
+            # Drain as results land so the checkpoint journal always
+            # reflects real progress, even if a later cell crashes.
+            while futures:
+                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    self._record(resolved, future.result())
+
+    # -- grid convenience --------------------------------------------------
+
+    def run_grid(
+        self,
+        methods,
+        workloads,
+        config,
+        seeds=None,
+        n_seeds: int = 1,
+        train: bool = False,
+        case_study: bool = False,
+    ) -> list[TaskResult]:
+        """Build and run a (method × workloads × seed) grid."""
+        return self.run(
+            grid_tasks(
+                methods,
+                workloads,
+                config,
+                seeds=seeds,
+                n_seeds=n_seeds,
+                train=train,
+                case_study=case_study,
+            )
+        )

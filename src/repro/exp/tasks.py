@@ -1,0 +1,69 @@
+"""Task execution: the one function every runner mode goes through.
+
+:func:`execute_task` is deliberately the *only* code path that turns an
+:class:`ExperimentTask` into metrics — the serial loop and the process
+pool both call it, so "parallel equals serial" holds by construction
+rather than by careful bookkeeping. It is a pure function of the task:
+every RNG stream inside derives from ``task.seed`` (via the library's
+``SeedSequence``-based spawning), so re-running a task anywhere, in any
+order, on any worker reproduces bit-identical metric values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.exp.records import ExperimentTask, TaskResult
+
+__all__ = ["execute_task"]
+
+
+def execute_task(task: ExperimentTask) -> TaskResult:
+    """Run one grid cell: build, (optionally) train, evaluate in order.
+
+    Mirrors the serial harness flow exactly — one scheduler instance is
+    created with the cell seed, trained once if requested, then replayed
+    over ``task.workloads`` in order, so stateful policies (the GA's RNG
+    stream, a trained agent) see the same history as a serial sweep.
+    """
+    # Imported lazily: repro.experiments.harness imports the runner, and
+    # worker processes should only pay for what the task touches.
+    from repro.experiments.harness import make_method, prepare_base_trace, train_method
+    from repro.sim.simulator import Simulator
+    from repro.workload.suites import build_case_study_workload, build_workload
+
+    t0 = time.perf_counter()
+    config = task.config
+    if task.seed != config.seed:
+        config = dataclasses.replace(config, seed=task.seed)
+
+    base = prepare_base_trace(config)
+    system = config.system()
+    if task.case_study:
+        # Any case-study spec extends the system identically (§V-E).
+        _, eval_system = build_case_study_workload("S6", base, system, seed=config.seed)
+    else:
+        eval_system = system
+
+    sched = make_method(task.method, eval_system, config, **dict(task.extra))
+    if task.train:
+        train_method(sched, eval_system, config)
+
+    metrics = {}
+    for workload in task.workloads:
+        if task.case_study:
+            jobs, _ = build_case_study_workload(workload, base, system, seed=config.seed)
+        else:
+            jobs = build_workload(workload, base, eval_system, seed=config.seed)
+        metrics[workload] = Simulator(eval_system, sched).run(jobs).metrics
+
+    return TaskResult(
+        key=task.key(),
+        method=task.method,
+        seed=task.seed,
+        workloads=task.workloads,
+        metrics=metrics,
+        wall_time=time.perf_counter() - t0,
+        label=task.label,
+    )

@@ -30,10 +30,9 @@ from repro.experiments.harness import (
     train_method,
 )
 from repro.experiments.report import format_boxstats, format_series, format_table
+from repro.exp import ExperimentRunner, ExperimentTask, pivot_results
 from repro.sim.metrics import MetricReport, kiviat_normalize
-from repro.sim.simulator import Simulator
 from repro.utils.rng import as_generator
-from repro.workload.suites import build_workload
 
 __all__ = [
     "fig3_mlp_vs_cnn",
@@ -71,25 +70,32 @@ def _metric_rows(
 def fig3_mlp_vs_cnn(
     config: ExperimentConfig | None = None,
     workloads: tuple[str, ...] = S_WORKLOADS,
+    runner: ExperimentRunner | None = None,
+    n_workers: int = 1,
 ) -> dict:
     """State-module ablation (§V-A): identical agents except the state net.
 
     Runs the *pure DFP* policy (no feasibility prior) — the ablation
     measures what each state architecture lets the network learn, which
-    the prior would otherwise mask.
+    the prior would otherwise mask. The two variants are independent
+    grid cells, so they parallelise across workers.
     """
     config = config or ExperimentConfig()
-    system = config.system()
-    base = prepare_base_trace(config)
-    reports: dict[str, dict[str, MetricReport]] = {w: {} for w in workloads}
-    for variant in ("mlp", "cnn"):
-        sched = make_method(
-            "mrsch", system, config, state_module=variant, prior_weight=0.0
+    runner = runner or ExperimentRunner(n_workers=n_workers)
+    tasks = [
+        ExperimentTask(
+            method="mrsch",
+            workloads=tuple(workloads),
+            seed=config.seed,
+            config=config,
+            train=True,
+            extra=(("state_module", variant), ("prior_weight", 0.0)),
+            label=variant.upper(),
         )
-        train_method(sched, system, config)
-        for workload in workloads:
-            jobs = build_workload(workload, base, system, seed=config.seed)
-            reports[workload][variant.upper()] = Simulator(system, sched).run(jobs).metrics
+        for variant in ("mlp", "cnn")
+    ]
+    reports = pivot_results(runner.run(tasks))
+    reports = {w: reports[w] for w in workloads}
     tables = _metric_rows(reports, ["MLP", "CNN"])
     text = "\n\n".join(
         format_table(f"Fig 3 — {metric} (columns: {', '.join(workloads)})",
@@ -135,9 +141,13 @@ def fig5_fig6_comparison(
     config: ExperimentConfig | None = None,
     workloads: tuple[str, ...] = S_WORKLOADS,
     methods: tuple[str, ...] = ("mrsch", "optimization", "scalar_rl", "heuristic"),
+    runner: ExperimentRunner | None = None,
+    n_workers: int = 1,
 ) -> dict:
     """System-level (Fig 5) and user-level (Fig 6) comparison grids."""
-    reports = run_comparison(list(workloads), list(methods), config)
+    reports = run_comparison(
+        list(workloads), list(methods), config, runner=runner, n_workers=n_workers
+    )
     tables = _metric_rows(reports, list(methods))
     fig5 = "\n\n".join(
         format_table(f"Fig 5 — {metric} (columns: {', '.join(workloads)})",
@@ -159,10 +169,14 @@ def fig7_kiviat(
     reports: dict[str, dict[str, MetricReport]] | None = None,
     config: ExperimentConfig | None = None,
     workloads: tuple[str, ...] = S_WORKLOADS,
+    runner: ExperimentRunner | None = None,
+    n_workers: int = 1,
 ) -> dict:
     """Normalized radar axes per workload; reuses Fig 5/6 runs if given."""
     if reports is None:
-        reports = run_comparison(list(workloads), config=config)
+        reports = run_comparison(
+            list(workloads), config=config, runner=runner, n_workers=n_workers
+        )
     charts = {w: kiviat_normalize(rs) for w, rs in reports.items()}
     areas = {
         w: {m: _kiviat_area(list(axes.values())) for m, axes in chart.items()}
@@ -260,9 +274,18 @@ def fig10_three_resources(
     config: ExperimentConfig | None = None,
     workloads: tuple[str, ...] = CASE_WORKLOADS,
     methods: tuple[str, ...] = ("mrsch", "optimization", "scalar_rl", "heuristic"),
+    runner: ExperimentRunner | None = None,
+    n_workers: int = 1,
 ) -> dict:
     """§V-E: CPU + burst buffer + power, workloads S6–S10."""
-    reports = run_comparison(list(workloads), list(methods), config, case_study=True)
+    reports = run_comparison(
+        list(workloads),
+        list(methods),
+        config,
+        case_study=True,
+        runner=runner,
+        n_workers=n_workers,
+    )
     charts = {w: kiviat_normalize(rs, include_power=True) for w, rs in reports.items()}
     areas = {
         w: {m: _kiviat_area(list(axes.values())) for m, axes in chart.items()}

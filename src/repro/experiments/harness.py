@@ -15,6 +15,7 @@ explicit, so the same harness drives full-scale runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cluster.resources import SystemConfig
 from repro.core.mrsch import MRSchScheduler
@@ -29,6 +30,9 @@ from repro.workload.job import Job
 from repro.workload.sampling import build_curriculum
 from repro.workload.suites import build_case_study_workload, build_workload
 from repro.workload.theta import ThetaTraceConfig, generate_theta_trace
+
+if TYPE_CHECKING:
+    from repro.exp.runner import ExperimentRunner
 
 __all__ = ["ExperimentConfig", "prepare_base_trace", "train_method", "run_comparison"]
 
@@ -143,41 +147,35 @@ def run_comparison(
     config: ExperimentConfig | None = None,
     case_study: bool = False,
     train: bool = True,
+    runner: "ExperimentRunner | None" = None,
+    n_workers: int = 1,
 ) -> dict[str, dict[str, MetricReport]]:
     """Run the (method × workload) grid behind Figs 5–7 / 10.
 
     Returns ``{workload: {method: MetricReport}}``. Trainable methods are
     curriculum-trained once and reused across workloads (matching the
     paper: one trained agent evaluated on S1–S5).
+
+    The grid executes on the :mod:`repro.exp` engine — one task per
+    method, each evaluating every workload in order. Pass ``runner`` (or
+    ``n_workers``) to fan methods out over processes, enable the result
+    cache, or checkpoint/resume; results are identical for any worker
+    count because each task is seeded independently.
     """
+    from repro.exp.runner import ExperimentRunner, grid_tasks, pivot_results
+
     config = config or ExperimentConfig()
     methods = list(methods or PAPER_METHODS)
-    base = prepare_base_trace(config)
-    system = config.system()
-    if case_study:
-        # Any case-study spec extends the system identically.
-        _, powered = build_case_study_workload("S6", base, system, seed=config.seed)
-        eval_system = powered
-    else:
-        eval_system = system
-
-    schedulers: dict[str, Scheduler] = {}
-    for name in methods:
-        sched = make_method(name, eval_system, config)
-        train_method(sched, eval_system, config) if train else None
-        schedulers[name] = sched
-
-    results: dict[str, dict[str, MetricReport]] = {}
-    for workload in workloads:
-        if case_study:
-            jobs, _ = build_case_study_workload(workload, base, system, seed=config.seed)
-        else:
-            jobs = build_workload(workload, base, eval_system, seed=config.seed)
-        results[workload] = {}
-        for name, sched in schedulers.items():
-            sim = Simulator(eval_system, sched)
-            results[workload][name] = sim.run(jobs).metrics
-    return results
+    runner = runner or ExperimentRunner(n_workers=n_workers)
+    tasks = grid_tasks(
+        methods, workloads, config, train=train, case_study=case_study
+    )
+    results = pivot_results(runner.run(tasks))
+    # Preserve the caller's workload/method ordering in the output dict.
+    return {
+        workload: {method: results[workload][method] for method in methods}
+        for workload in workloads
+    }
 
 
 def run_single(

@@ -61,6 +61,37 @@ class MetricReport:
     def avg_wait_hours(self) -> float:
         return self.avg_wait / 3600.0
 
+    def full_dict(self) -> dict:
+        """Every field, JSON-serialisable — the cache/checkpoint format.
+
+        Unlike :meth:`as_dict` (the four plotted columns), this loses no
+        information: :meth:`from_dict` reconstructs an identical report.
+        """
+        return {
+            "utilization": dict(self.utilization),
+            "avg_wait": self.avg_wait,
+            "avg_slowdown": self.avg_slowdown,
+            "max_wait": self.max_wait,
+            "p95_slowdown": self.p95_slowdown,
+            "makespan": self.makespan,
+            "n_jobs": self.n_jobs,
+            "avg_power_units": self.avg_power_units,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricReport":
+        """Inverse of :meth:`full_dict`."""
+        return cls(
+            utilization={str(k): float(v) for k, v in data["utilization"].items()},
+            avg_wait=float(data["avg_wait"]),
+            avg_slowdown=float(data["avg_slowdown"]),
+            max_wait=float(data["max_wait"]),
+            p95_slowdown=float(data["p95_slowdown"]),
+            makespan=float(data["makespan"]),
+            n_jobs=int(data["n_jobs"]),
+            avg_power_units=float(data.get("avg_power_units", 0.0)),
+        )
+
     def as_dict(self) -> dict[str, float]:
         out = {
             "node_util": self.node_util,

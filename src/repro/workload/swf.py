@@ -37,6 +37,7 @@ def parse_swf(
     node_resource: str = "node",
     max_jobs: int | None = None,
     include_failed: bool = False,
+    strict: bool = True,
 ) -> list[Job]:
     """Parse an SWF file into a list of :class:`Job`.
 
@@ -49,6 +50,11 @@ def parse_swf(
         Stop after this many jobs (useful for quick experiments).
     include_failed:
         SWF status 0 marks failed jobs; they are skipped by default.
+    strict:
+        Malformed lines (fewer than 18 fields, or non-numeric values in
+        a consumed column) raise :class:`ValueError` by default; with
+        ``strict=False`` they are skipped — real archive traces
+        occasionally carry truncated trailing lines.
     """
     extra_resources: list[str] = []
     jobs: list[Job] = []
@@ -64,8 +70,19 @@ def parse_swf(
                 continue
             fields = line.split()
             if len(fields) < _N_FIELDS:
-                raise ValueError(f"malformed SWF line ({len(fields)} fields): {line!r}")
-            job = _job_from_fields(fields, node_resource, extra_resources, include_failed)
+                if strict:
+                    raise ValueError(
+                        f"malformed SWF line ({len(fields)} fields): {line!r}"
+                    )
+                continue
+            try:
+                job = _job_from_fields(
+                    fields, node_resource, extra_resources, include_failed
+                )
+            except ValueError:
+                if strict:
+                    raise ValueError(f"malformed SWF line: {line!r}")
+                continue
             if job is not None:
                 jobs.append(job)
                 if max_jobs is not None and len(jobs) >= max_jobs:

@@ -1,4 +1,11 @@
-"""Shared fixtures: small deterministic systems, traces and workloads."""
+"""Shared fixtures: small deterministic systems, traces and workloads.
+
+Also applies the suite's marker policy: everything under
+``tests/integration/`` is auto-marked ``integration``, and tests marked
+``slow`` (full-grid / training-heavy) are deselected by default via the
+``addopts`` in ``pyproject.toml`` — run them with ``-m slow`` or
+``-m ""``.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +15,12 @@ import pytest
 from repro.cluster.resources import BURST_BUFFER, NODE, ResourceSpec, SystemConfig
 from repro.workload.job import Job
 from repro.workload.theta import ThetaTraceConfig, generate_theta_trace
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if "tests/integration/" in item.nodeid.replace("\\", "/"):
+            item.add_marker(pytest.mark.integration)
 
 
 @pytest.fixture

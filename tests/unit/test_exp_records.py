@@ -1,0 +1,163 @@
+"""Unit tests for the experiment engine's records and result cache."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.exp.cache import ResultCache
+from repro.exp.records import (
+    ExperimentTask,
+    TaskResult,
+    canonical_json,
+    task_key,
+)
+from repro.experiments.harness import ExperimentConfig
+from repro.sim.metrics import MetricReport
+
+
+def make_task(**overrides) -> ExperimentTask:
+    base = dict(
+        method="heuristic",
+        workloads=("S1", "S2"),
+        seed=7,
+        config=ExperimentConfig(nodes=32, bb_units=16, n_jobs=20),
+    )
+    base.update(overrides)
+    return ExperimentTask(**base)
+
+
+def make_report(avg_wait: float = 12.5) -> MetricReport:
+    return MetricReport(
+        utilization={"node": 0.8, "burst_buffer": 0.3},
+        avg_wait=avg_wait,
+        avg_slowdown=1.5,
+        max_wait=99.0,
+        p95_slowdown=2.25,
+        makespan=1000.0,
+        n_jobs=20,
+    )
+
+
+class TestTaskKey:
+    def test_key_is_stable(self):
+        assert make_task().key() == make_task().key()
+
+    def test_key_changes_with_any_field(self):
+        base = make_task().key()
+        assert make_task(method="mrsch").key() != base
+        assert make_task(seed=8).key() != base
+        assert make_task(workloads=("S1",)).key() != base
+        assert make_task(train=True).key() != base
+        assert make_task(case_study=True).key() != base
+        assert make_task(extra=(("prior_weight", 0.0),)).key() != base
+        assert (
+            make_task(config=ExperimentConfig(nodes=64, bb_units=16, n_jobs=20)).key()
+            != base
+        )
+
+    def test_key_sees_nested_config_fields(self):
+        from repro.sched.ga import NSGA2Config
+
+        a = make_task(
+            config=ExperimentConfig(ga_config=NSGA2Config(population=12, generations=6))
+        )
+        b = make_task(
+            config=ExperimentConfig(ga_config=NSGA2Config(population=12, generations=7))
+        )
+        assert a.key() != b.key()
+
+    def test_canonical_json_rejects_unhashable_payloads(self):
+        with pytest.raises(TypeError, match="canonicalise"):
+            canonical_json({"bad": object()})
+
+    def test_canonical_json_orders_dict_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_task_key_matches_method(self):
+        task = make_task()
+        assert task.key() == task_key(task)
+
+    def test_label_is_provenance_not_semantics(self):
+        """Relabelling a cell must still hit the cache/checkpoint."""
+        assert make_task(label="MLP").key() == make_task().key()
+        assert make_task(label="MLP").display_name == "MLP"
+
+
+class TestTaskResultJson:
+    def test_roundtrip_is_lossless(self):
+        result = TaskResult(
+            key="abc",
+            method="heuristic",
+            seed=7,
+            workloads=("S1", "S2"),
+            metrics={"S1": make_report(1.0), "S2": make_report(2.0)},
+            wall_time=0.5,
+            label="H",
+        )
+        back = TaskResult.from_json_dict(
+            json.loads(json.dumps(result.to_json_dict()))
+        )
+        assert back.key == result.key
+        assert back.workloads == result.workloads
+        assert back.display_name == "H"
+        for w in result.workloads:
+            assert back.metrics[w].full_dict() == result.metrics[w].full_dict()
+
+    def test_metric_report_full_dict_roundtrip(self):
+        report = make_report()
+        clone = MetricReport.from_dict(report.full_dict())
+        assert clone.full_dict() == report.full_dict()
+        assert clone.node_util == report.node_util
+        assert clone.bb_util == report.bb_util
+
+
+class TestResultCache:
+    def _result(self, key: str = "k1") -> TaskResult:
+        return TaskResult(
+            key=key,
+            method="heuristic",
+            seed=7,
+            workloads=("S1",),
+            metrics={"S1": make_report()},
+            wall_time=0.1,
+        )
+
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(self._result())
+        hit = cache.get("k1")
+        assert hit is not None
+        assert hit.source == "cache"
+        assert hit.metrics["S1"].full_dict() == make_report().full_dict()
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("nope") is None
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "bad.json").write_text('{"key": "bad"')
+        assert cache.get("bad") is None
+
+    def test_contains_len_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(self._result("a"))
+        cache.put(self._result("b"))
+        assert "a" in cache and "b" in cache and "c" not in cache
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(self._result())
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestTaskImmutability:
+    def test_tasks_are_frozen(self):
+        task = make_task()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            task.seed = 99  # type: ignore[misc]

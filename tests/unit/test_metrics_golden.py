@@ -1,0 +1,71 @@
+"""Golden-metrics tier-1 test: exact FCFS numbers on the tiny trace.
+
+Any simulator "fast path" refactor — pool accounting, event ordering,
+metric aggregation — that changes replay *semantics* (rather than just
+speed) shifts at least one of these values and fails loudly here. The
+numbers are exact floats captured from the reference implementation, and
+the per-job schedule is pinned alongside the aggregates so a failure
+points at the first divergent scheduling decision, not just a summary
+statistic.
+"""
+
+from __future__ import annotations
+
+from repro.sched.fcfs import FCFSScheduler
+from repro.sim.simulator import Simulator
+
+#: (job_id, start_time, end_time) of every job, in submission order.
+GOLDEN_SCHEDULE = [
+    (1, 0.0, 200.0),
+    (2, 50.0, 280.0),
+    (3, 100.0, 360.0),
+    (4, 150.0, 350.0),
+    (5, 200.0, 430.0),
+    (6, 280.0, 540.0),
+    (7, 350.0, 550.0),
+    (8, 360.0, 590.0),
+    (9, 430.0, 690.0),
+    (10, 540.0, 740.0),
+]
+
+GOLDEN_METRICS = {
+    "utilization": {
+        "node": 0.6815878378378378,
+        "burst_buffer": 0.38006756756756754,
+    },
+    "avg_wait": 21.0,
+    "avg_slowdown": 1.0974247491638796,
+    "max_wait": 90.0,
+    "p95_slowdown": 1.3599999999999999,
+    "makespan": 740.0,
+    "n_jobs": 10,
+    "avg_power_units": 0.0,
+}
+
+GOLDEN_N_SCHEDULING_INSTANCES = 18
+
+
+def _run(tiny_system, tiny_trace):
+    return Simulator(tiny_system, FCFSScheduler(window_size=5)).run(tiny_trace)
+
+
+class TestGoldenFCFS:
+    def test_exact_metric_values(self, tiny_system, tiny_trace):
+        result = _run(tiny_system, tiny_trace)
+        assert result.metrics.full_dict() == GOLDEN_METRICS
+
+    def test_exact_schedule(self, tiny_system, tiny_trace):
+        result = _run(tiny_system, tiny_trace)
+        schedule = [(j.job_id, j.start_time, j.end_time) for j in result.jobs]
+        assert schedule == GOLDEN_SCHEDULE
+
+    def test_scheduling_instance_count(self, tiny_system, tiny_trace):
+        result = _run(tiny_system, tiny_trace)
+        assert result.n_scheduling_instances == GOLDEN_N_SCHEDULING_INSTANCES
+        assert result.makespan == GOLDEN_METRICS["makespan"]
+
+    def test_replay_is_stable(self, tiny_system, tiny_trace):
+        """Two replays of the same trace agree exactly (no hidden state)."""
+        first = _run(tiny_system, tiny_trace).metrics.full_dict()
+        second = _run(tiny_system, tiny_trace).metrics.full_dict()
+        assert first == second == GOLDEN_METRICS

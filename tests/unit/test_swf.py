@@ -59,6 +59,25 @@ class TestParse:
         with pytest.raises(ValueError, match="malformed"):
             parse_swf(path)
 
+    def test_non_numeric_field_raises(self, tmp_path):
+        path = tmp_path / "t.swf"
+        bad = swf_line().split()
+        bad[3] = "not-a-number"
+        path.write_text(" ".join(bad) + "\n")
+        with pytest.raises(ValueError, match="malformed"):
+            parse_swf(path)
+
+    def test_lenient_mode_skips_malformed(self, tmp_path):
+        path = tmp_path / "t.swf"
+        bad = swf_line(job_id=9).split()
+        bad[3] = "garbage"
+        path.write_text(
+            "1 2 3\n" + swf_line(job_id=1) + "\n" + " ".join(bad) + "\n"
+            + swf_line(job_id=2) + "\n"
+        )
+        jobs = parse_swf(path, strict=False)
+        assert [j.job_id for j in jobs] == [1, 2]
+
     def test_extension_columns(self, tmp_path):
         path = tmp_path / "t.swf"
         path.write_text(
@@ -133,3 +152,86 @@ class TestRoundTrip:
             assert got.runtime == job.runtime
             assert got.request("node") == job.request("node")
             assert got.request("burst_buffer") == job.request("burst_buffer")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        extras=st.lists(
+            st.sampled_from(["burst_buffer", "power", "gpu", "licenses"]),
+            min_size=0,
+            max_size=3,
+            unique=True,
+        ),
+        rows=st.lists(
+            st.tuples(
+                st.integers(0, 10**6),   # submit
+                st.integers(1, 10**5),   # runtime
+                st.floats(1.0, 4.0),     # walltime multiplier
+                st.integers(1, 4096),    # nodes
+                st.lists(st.integers(0, 500), min_size=3, max_size=3),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+    )
+    def test_roundtrip_preserves_all_fields_property(
+        self, tmp_path_factory, extras, rows
+    ):
+        """write_swf(parse_swf(x)) preserves every job field the format
+        carries, including arbitrary `; X-Resource:` extension columns."""
+        jobs = [
+            Job(
+                job_id=i + 1,
+                submit_time=float(s),
+                runtime=float(r),
+                # walltime serialises at whole-second precision
+                walltime=float(round(r * mult)),
+                requests={"node": n, **dict(zip(extras, amounts))},
+            )
+            for i, (s, r, mult, n, amounts) in enumerate(rows)
+        ]
+        path = tmp_path_factory.mktemp("swf") / "p.swf"
+        write_swf(path, jobs, extra_resources=extras)
+
+        header = [
+            line for line in path.read_text().splitlines() if line.startswith(";")
+        ]
+        assert [h.split(":", 1)[1].strip() for h in header if "X-Resource" in h] == extras
+
+        parsed = parse_swf(path)
+        assert len(parsed) == len(jobs)
+        # parse_swf sorts by (submit, job_id) — the simulator's intake order.
+        assert [(j.submit_time, j.job_id) for j in parsed] == sorted(
+            (j.submit_time, j.job_id) for j in jobs
+        )
+        by_id = {j.job_id: j for j in parsed}
+        for job in jobs:
+            got = by_id[job.job_id]
+            assert got.submit_time == job.submit_time
+            assert got.runtime == job.runtime
+            assert got.walltime == job.walltime
+            assert got.request("node") == job.request("node")
+            for name in extras:
+                assert got.request(name) == job.request(name)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_good=st.integers(1, 8),
+        junk=st.lists(
+            st.sampled_from(["1 2 3", "x y z", "-", "0"]), min_size=1, max_size=4
+        ),
+    )
+    def test_lenient_parse_recovers_good_jobs_property(
+        self, tmp_path_factory, n_good, junk
+    ):
+        """Interleaved malformed lines never corrupt neighbouring jobs."""
+        good = [swf_line(job_id=i + 1, submit=i * 10) for i in range(n_good)]
+        lines = []
+        for i, g in enumerate(good):
+            lines.append(g)
+            lines.append(junk[i % len(junk)])
+        path = tmp_path_factory.mktemp("swf") / "m.swf"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="malformed"):
+            parse_swf(path)
+        jobs = parse_swf(path, strict=False)
+        assert [j.job_id for j in jobs] == list(range(1, n_good + 1))
