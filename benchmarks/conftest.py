@@ -15,7 +15,8 @@ from pathlib import Path
 import pytest
 from bench_util import bench_workers
 
-from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.api import compare, paper_methods, paper_workloads
+from repro.experiments.harness import ExperimentConfig
 from repro.sched.ga import NSGA2Config
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -43,10 +44,10 @@ def comparison_grid(bench_config):
     Runs on the parallel experiment engine — method cells fan out over
     ``bench_workers()`` processes (identical results at any width).
     """
-    return run_comparison(
-        ["S1", "S2", "S3", "S4", "S5"],
-        ["mrsch", "optimization", "scalar_rl", "heuristic"],
-        bench_config,
+    return compare(
+        workloads=list(paper_workloads()),
+        methods=list(paper_methods()),
+        config=bench_config,
         n_workers=bench_workers(),
     )
 

@@ -2,23 +2,17 @@
 """Train MRSch and compare it against all three baselines on burst-buffer
 contention (the paper's core two-resource experiment, Figs 5–6).
 
-The MRSch agent is trained with the §III-D curriculum (sampled → real →
-synthetic job sets) and then evaluated — frozen — on the S4 workload
-(heavy burst-buffer contention). The goal-vector log shows the §V-D
-dynamic prioritizing at work.
+The comparison grid is one facade call: every method is instantiated by
+registry name, curriculum-trained if its registry entry says it is
+trainable, and evaluated — frozen — on the S4 workload (heavy
+burst-buffer contention). A second, single run exposes the MRSch
+goal-vector log showing the §V-D dynamic prioritizing at work.
 
 Run:  python examples/burst_buffer_scheduling.py          (~1–2 min)
 """
 
-import numpy as np
-
-from repro import Simulator, build_workload
-from repro.experiments.harness import (
-    ExperimentConfig,
-    make_method,
-    prepare_base_trace,
-    train_method,
-)
+from repro.api import SCHEDULERS, compare, run_single
+from repro.experiments.harness import ExperimentConfig
 
 WORKLOAD = "S4"
 
@@ -33,32 +27,30 @@ def main() -> None:
         seed=7,
     )
     system = config.system()
-    base = prepare_base_trace(config)
-    jobs = build_workload(WORKLOAD, base, system, seed=config.seed)
-
-    print(f"Evaluating on {WORKLOAD}: {len(jobs)} jobs, "
+    print(f"Evaluating on {WORKLOAD}: {config.n_jobs} jobs, "
           f"{system.capacity('node')} nodes, "
           f"{system.capacity('burst_buffer')} TB burst buffer\n")
 
-    for method in ("mrsch", "scalar_rl", "optimization", "heuristic"):
-        scheduler = make_method(method, system, config)
-        training = train_method(scheduler, system, config)
-        result = Simulator(system, scheduler).run(jobs)
-        m = result.metrics
-        trained = f"(trained {training.episodes} episodes)" if training else "(no training)"
+    methods = ["mrsch", "scalar_rl", "optimization", "heuristic"]
+    reports = compare([WORKLOAD], methods, config, train=True)
+    for method in methods:
+        m = reports[WORKLOAD][method]
+        trained = "(curriculum-trained)" if SCHEDULERS.get(method).trainable else "(no training)"
         print(
-            f"{method:>12} {trained:>22}:  node {m.node_util:5.1%}  "
+            f"{method:>12} {trained:>20}:  node {m.node_util:5.1%}  "
             f"bb {m.bb_util:5.1%}  wait {m.avg_wait_hours:5.2f} h  "
             f"slowdown {m.avg_slowdown:5.2f}"
         )
-        if method == "mrsch":
-            _, goals = scheduler.goal_series()
-            bb = goals[:, system.names.index("burst_buffer")]
-            print(
-                f"{'':>36}rBB over the run: min {bb.min():.2f}, "
-                f"mean {bb.mean():.2f}, max {bb.max():.2f} "
-                f"(scalar RL is fixed at 0.50)"
-            )
+
+    # Re-run MRSch alone to inspect the §V-D goal dynamics.
+    _, scheduler = run_single(WORKLOAD, "mrsch", config, train=True)
+    _, goals = scheduler.goal_series()
+    bb = goals[:, system.names.index("burst_buffer")]
+    print(
+        f"\nrBB over the MRSch run: min {bb.min():.2f}, "
+        f"mean {bb.mean():.2f}, max {bb.max():.2f} "
+        f"(scalar RL is fixed at 0.50)"
+    )
 
 
 if __name__ == "__main__":

@@ -1,11 +1,15 @@
 #!/usr/bin/env python
-"""Bring your own trace: SWF round-trip and Darshan-style BB extraction.
+"""Bring your own trace: SWF round-trip plus a plugin workload.
 
 Production sites hold their job logs in the Standard Workload Format.
 This example writes a generated trace to SWF (with the multi-resource
-extension columns), reads it back, layers synthetic Darshan I/O records
-on top (the paper's §IV-A pipeline for deriving burst-buffer requests),
-and replays the result.
+extension columns), reads it back, and registers a *custom workload* —
+the paper's §IV-A pipeline of layering synthetic Darshan I/O records on
+top of a trace to derive burst-buffer requests — under the name
+``site_replay``. Registration is the whole integration: the workload
+immediately runs through ``run_scenario`` (and would be addressable
+from scenario files and ``repro compare`` alike), with zero edits to
+core modules.
 
 Run:  python examples/custom_trace.py
 """
@@ -13,44 +17,54 @@ Run:  python examples/custom_trace.py
 import tempfile
 from pathlib import Path
 
-from repro import (
-    Simulator,
-    SystemConfig,
-    ThetaTraceConfig,
-    generate_theta_trace,
-    make_scheduler,
-    parse_swf,
-    write_swf,
-)
+from repro.api import WORKLOADS, register_workload, run_scenario
 from repro.workload.darshan import extract_bb_requests, generate_darshan_records
+from repro.workload.swf import parse_swf, write_swf
+from repro.workload.theta import ThetaTraceConfig, generate_theta_trace
+
+
+@register_workload(
+    "site_replay",
+    description="Replay the base trace with Darshan-derived BB requests (§IV-A)",
+)
+def build_site_replay(base_jobs, system, seed):
+    """Derive burst-buffer requests from synthetic Darshan records."""
+    records = generate_darshan_records(base_jobs, seed=seed)
+    # extract_bb_requests returns fresh copies; base_jobs stays untouched.
+    return extract_bb_requests(
+        base_jobs,
+        records,
+        bb_unit_gb=1024.0,
+        max_units=system.capacity("burst_buffer"),
+    )
 
 
 def main() -> None:
-    system = SystemConfig.mini_theta(nodes=64, bb_units=32)
-    jobs = generate_theta_trace(
-        ThetaTraceConfig(total_nodes=64, n_jobs=100), seed=3
-    )
+    jobs = generate_theta_trace(ThetaTraceConfig(total_nodes=64, n_jobs=100), seed=3)
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "site_trace.swf"
         write_swf(path, jobs)
         print(f"Wrote {len(jobs)} jobs to {path.name}")
-
         loaded = parse_swf(path)
         print(f"Parsed back {len(loaded)} jobs "
               f"(first submit at t={loaded[0].submit_time:.0f}s)")
 
-    # §IV-A: derive burst-buffer requests from (synthetic) Darshan logs.
-    records = generate_darshan_records(loaded, seed=3)
-    with_bb = extract_bb_requests(
-        loaded, records, bb_unit_gb=1024.0, max_units=system.capacity("burst_buffer")
-    )
-    n_bb = sum(1 for j in with_bb if j.request("burst_buffer") > 0)
-    print(f"Darshan extraction: {len(records)} records, "
-          f"{n_bb} jobs now carry burst-buffer requests")
+    print(f"\nRegistered workloads now include: "
+          f"{[n for n in WORKLOADS.names() if n == 'site_replay']}")
 
-    result = Simulator(system, make_scheduler("heuristic", system)).run(with_bb)
-    m = result.metrics
+    result = run_scenario(
+        {
+            "name": "site-replay",
+            "methods": ["heuristic"],
+            "workloads": ["site_replay"],
+            "system": {"name": "mini_theta", "nodes": 64, "bb_units": 32},
+            "seed": 3,
+            "train": False,
+            "config": {"n_jobs": 100},
+        }
+    )
+    m = result.reports["site_replay"]["heuristic"]
     print(f"\nFCFS replay: node util {m.node_util:.1%}, bb util {m.bb_util:.1%}, "
           f"avg wait {m.avg_wait_hours:.2f} h")
 

@@ -7,16 +7,26 @@ maximises both utilizations picks (J2, J3) first and needs three hours;
 the contention-aware order (J1, J3), (J2, J4) finishes in two. Eq. 1's
 goal vector shows what a dynamic prioritizer sees at t=0.
 
+The toy two-resource system registers as a *plugin system* — after the
+``@register_system`` decorator it is addressable by name from the
+facade (``make_system("fig1_toy")``) and from scenario files.
+
 Run:  python examples/motivating_example.py
 """
 
 from repro import FCFSScheduler, Simulator
+from repro.api import make_system, register_system
 from repro.cluster.resources import ResourceSpec, SystemConfig
 from repro.core.goal import goal_vector
 from repro.workload.job import Job
 
 HOUR = 3600.0
 DEMANDS = {"J1": (6, 3), "J2": (5, 5), "J3": (4, 5), "J4": (5, 4)}
+
+
+@register_system("fig1_toy", description="Fig. 1 toy: two 10-unit resources A/B")
+def build_fig1_system() -> SystemConfig:
+    return SystemConfig(resources=(ResourceSpec("A", 10), ResourceSpec("B", 10)))
 
 
 def build(order: list[str]) -> list[Job]:
@@ -33,7 +43,7 @@ def build(order: list[str]) -> list[Job]:
 
 
 def main() -> None:
-    system = SystemConfig(resources=(ResourceSpec("A", 10), ResourceSpec("B", 10)))
+    system = make_system("fig1_toy")
     print("Job demands (% of each resource):")
     for name, (a, b) in DEMANDS.items():
         print(f"  {name}: A={a * 10}%  B={b * 10}%")

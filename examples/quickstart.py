@@ -1,46 +1,39 @@
 #!/usr/bin/env python
-"""Quickstart: simulate one workload under two schedulers.
+"""Quickstart: compare two schedulers on one workload via the scenario API.
 
-Builds a miniature Theta (128 nodes, 64 TB burst buffer), generates a
-Theta-like trace, derives the paper's S4 workload (75% of jobs request
-20–285 TB-equivalent burst buffer) and replays it under the FCFS
-heuristic and the NSGA-II optimizer, printing the §IV-B metrics.
+Declares a scenario inline — a miniature Theta (128 nodes, 64 TB burst
+buffer), the paper's S4 workload (75% of jobs request 20–285
+TB-equivalent burst buffer), two untrained baselines — and runs it on
+the experiment engine. The same dict, saved as JSON, runs unchanged via
+``repro run scenario.json``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    Simulator,
-    SystemConfig,
-    ThetaTraceConfig,
-    build_workload,
-    generate_theta_trace,
-    make_scheduler,
-)
+from repro.api import list_schedulers, list_workloads, run_scenario
 
-SEED = 2022
+SCENARIO = {
+    "name": "quickstart",
+    "methods": ["heuristic", "optimization"],
+    "workloads": ["S4"],
+    "system": {"name": "mini_theta", "nodes": 128, "bb_units": 64},
+    "seed": 2022,
+    "train": False,
+    "config": {"n_jobs": 200, "window_size": 10},
+}
 
 
 def main() -> None:
-    system = SystemConfig.mini_theta(nodes=128, bb_units=64)
-    print(f"System: {[f'{r.units}x {r.unit_label}' for r in system.resources]}")
+    print(f"Registered schedulers: {', '.join(list_schedulers())}")
+    print(f"Registered workloads:  {', '.join(list_workloads())}\n")
 
-    base = generate_theta_trace(
-        ThetaTraceConfig(total_nodes=128, n_jobs=200), seed=SEED
-    )
-    jobs = build_workload("S4", base, system, seed=SEED)
-    n_bb = sum(1 for j in jobs if j.request("burst_buffer") > 0)
-    print(f"Workload S4: {len(jobs)} jobs, {n_bb} with burst-buffer requests\n")
-
-    for method in ("heuristic", "optimization"):
-        scheduler = make_scheduler(method, system, window_size=10, seed=SEED)
-        result = Simulator(system, scheduler).run(jobs)
-        m = result.metrics
+    result = run_scenario(SCENARIO)
+    for method, metrics in result.reports["S4"].items():
         print(
-            f"{method:>12}:  node util {m.node_util:5.1%}   "
-            f"bb util {m.bb_util:5.1%}   "
-            f"avg wait {m.avg_wait_hours:5.2f} h   "
-            f"avg slowdown {m.avg_slowdown:5.2f}"
+            f"{method:>12}:  node util {metrics.node_util:5.1%}   "
+            f"bb util {metrics.bb_util:5.1%}   "
+            f"avg wait {metrics.avg_wait_hours:5.2f} h   "
+            f"avg slowdown {metrics.avg_slowdown:5.2f}"
         )
 
 

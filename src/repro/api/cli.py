@@ -1,0 +1,207 @@
+"""``repro`` — the command-line front door to the scenario API.
+
+Three subcommands, each a thin shell over :mod:`repro.api`:
+
+``repro list``
+    Show every registered scheduler, workload and system with its
+    capability metadata.
+``repro run scenario.json``
+    Load, validate and execute a scenario file on the experiment
+    engine; print per-workload metric tables (or ``--json``).
+``repro compare --methods mrsch heuristic --workloads S1 S4``
+    Run an inline comparison grid without writing a scenario file.
+
+Exit codes: 0 on success, 1 on a validation/runtime error (with a
+single-line message on stderr), 2 on bad command-line usage (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.api.registry import SCHEDULERS, SYSTEMS, WORKLOADS
+
+__all__ = ["main", "build_parser"]
+
+
+def _split_names(values: Sequence[str]) -> list[str]:
+    """Flatten ``--methods a b`` and ``--methods a,b`` alike."""
+    out: list[str] = []
+    for value in values:
+        out.extend(part for part in value.split(",") if part)
+    return out
+
+
+def _first_line(text: str) -> str:
+    return text.splitlines()[0] if text else ""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative scenario runner for the MRSch reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser(
+        "list", help="list registered schedulers, workloads and systems"
+    )
+    p_list.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_run = sub.add_parser("run", help="execute a scenario file")
+    p_run.add_argument("scenario", help="path to a scenario .json file")
+    p_run.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes (results identical at any width)")
+    p_run.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's root seed (replaces an "
+                            "explicit seeds list)")
+    p_run.add_argument("--replications", type=int, default=None, metavar="N",
+                       help="override the scenario's replication count")
+    train_group = p_run.add_mutually_exclusive_group()
+    train_group.add_argument("--train", dest="train", action="store_true",
+                             default=None, help="force curriculum training on")
+    train_group.add_argument("--no-train", dest="train", action="store_false",
+                             help="force curriculum training off")
+    p_run.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="enable the on-disk result cache")
+    p_run.add_argument("--checkpoint", default=None, metavar="FILE",
+                       help="enable resumable JSONL checkpointing")
+    p_run.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_cmp = sub.add_parser("compare", help="run an inline comparison grid")
+    p_cmp.add_argument("--methods", nargs="+", default=None, metavar="NAME",
+                       help="schedulers to compare (default: the paper's four)")
+    p_cmp.add_argument("--workloads", nargs="+", required=True, metavar="NAME")
+    p_cmp.add_argument("--seeds", nargs="+", type=int, default=None, metavar="SEED",
+                       help="explicit seed axis (one grid row per seed)")
+    p_cmp.add_argument("--seed", type=int, default=2022, help="root seed")
+    p_cmp.add_argument("--replications", type=int, default=1, metavar="N")
+    p_cmp.add_argument("--nodes", type=int, default=128)
+    p_cmp.add_argument("--bb-units", type=int, default=64)
+    p_cmp.add_argument("--n-jobs", type=int, default=150)
+    p_cmp.add_argument("--window-size", type=int, default=10)
+    p_cmp.add_argument("--train", action="store_true",
+                       help="curriculum-train trainable methods (slower)")
+    p_cmp.add_argument("--workers", type=int, default=1, metavar="N")
+    p_cmp.add_argument("--json", action="store_true", help="machine-readable output")
+
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.api.facade import describe_components
+
+    snapshot = describe_components()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print("Schedulers:")
+    for entry in SCHEDULERS.entries():
+        flags = ", ".join(
+            flag
+            for flag, on in (
+                ("trainable", entry.trainable),
+                ("seeded", entry.seeded),
+                ("multi-resource", entry.multi_resource),
+                ("paper", entry.paper),
+            )
+            if on
+        )
+        print(f"  {entry.name:<14} {_first_line(entry.description)}  [{flags}]")
+    print("\nWorkloads:")
+    for entry in WORKLOADS.entries():
+        tag = "case-study" if entry.case_study else "table-III" if entry.paper else "plugin"
+        print(f"  {entry.name:<14} {_first_line(entry.description)}  [{tag}]")
+    print("\nSystems:")
+    for entry in SYSTEMS.entries():
+        print(f"  {entry.name:<14} {_first_line(entry.description)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api.facade import run_scenario
+    from repro.api.scenario import Scenario
+
+    scenario = Scenario.from_file(args.scenario)
+    overrides: dict = {}
+    if args.seed is not None:
+        # An explicit seeds axis would otherwise shadow the new root
+        # seed in Scenario.compile — re-seeding replaces it.
+        overrides["seed"] = args.seed
+        overrides["seeds"] = None
+    if args.replications is not None:
+        overrides["replications"] = args.replications
+        overrides["seeds"] = None
+    if args.train is not None:
+        overrides["train"] = args.train
+    if overrides:
+        scenario = scenario.replace(**overrides)
+
+    result = run_scenario(
+        scenario,
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
+        checkpoint_path=args.checkpoint,
+    )
+    if args.json:
+        print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        n_cells = len(result.tasks)
+        wall = sum(r.wall_time for r in result.results)
+        print(
+            f"scenario {scenario.name!r} ({scenario.config_hash()}): "
+            f"{n_cells} cell(s), {wall:.1f} s task time\n"
+        )
+        print(result.summary())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.api.facade import compare, render_reports
+    from repro.experiments.harness import ExperimentConfig
+
+    config = ExperimentConfig(
+        nodes=args.nodes,
+        bb_units=args.bb_units,
+        n_jobs=args.n_jobs,
+        window_size=args.window_size,
+        seed=args.seed,
+    )
+    reports = compare(
+        workloads=_split_names(args.workloads),
+        methods=_split_names(args.methods) if args.methods else None,
+        config=config,
+        seeds=args.seeds,
+        replications=args.replications,
+        train=args.train,
+        n_workers=args.workers,
+    )
+    if args.json:
+        print(json.dumps(
+            {w: {m: r.full_dict() for m, r in per.items()} for w, per in reports.items()},
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    print(render_reports(reports, "compare"))
+    return 0
+
+
+_COMMANDS = {"list": _cmd_list, "run": _cmd_run, "compare": _cmd_compare}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro {args.command}: error: {message}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,14 +28,19 @@ import multiprocessing
 import os
 import sys
 import tempfile
+from collections.abc import Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exp.cache import ResultCache
 from repro.exp.records import ExperimentTask, TaskResult
 from repro.exp.tasks import execute_task
+
+if TYPE_CHECKING:
+    from repro.experiments.harness import ExperimentConfig
 
 __all__ = ["ExperimentRunner", "grid_tasks", "spawn_grid_seeds", "pivot_results"]
 
@@ -52,10 +57,10 @@ def spawn_grid_seeds(root_seed: int, n: int) -> list[int]:
 
 
 def grid_tasks(
-    methods,
-    workloads,
-    config,
-    seeds=None,
+    methods: Sequence[str],
+    workloads: Sequence[str],
+    config: "ExperimentConfig",
+    seeds: Sequence[int] | None = None,
     n_seeds: int = 1,
     train: bool = False,
     case_study: bool = False,
@@ -68,6 +73,12 @@ def grid_tasks(
     explicitly; otherwise ``n_seeds`` independent seeds are spawned from
     ``config.seed`` (``n_seeds=1`` reuses ``config.seed`` itself so a
     plain comparison grid matches the serial harness bit-for-bit).
+
+    This is also the compilation target of the declarative layer:
+    :meth:`repro.api.scenario.Scenario.compile` emits exactly this cell
+    ordering (seed-major, then method) with the same seed-spawning
+    rules, so a scenario equivalent to a harness grid produces
+    bit-identical tasks, metrics and cache keys.
     """
     if seeds is None:
         seeds = [config.seed] if n_seeds == 1 else spawn_grid_seeds(config.seed, n_seeds)
@@ -262,10 +273,10 @@ class ExperimentRunner:
 
     def run_grid(
         self,
-        methods,
-        workloads,
-        config,
-        seeds=None,
+        methods: Sequence[str],
+        workloads: Sequence[str],
+        config: "ExperimentConfig",
+        seeds: Sequence[int] | None = None,
         n_seeds: int = 1,
         train: bool = False,
         case_study: bool = False,

@@ -31,7 +31,7 @@ def execute_task(task: ExperimentTask) -> TaskResult:
     # worker processes should only pay for what the task touches.
     from repro.experiments.harness import make_method, prepare_base_trace, train_method
     from repro.sim.simulator import Simulator
-    from repro.workload.suites import build_case_study_workload, build_workload
+    from repro.workload.suites import build_case_study_workload, build_workload, powered_system
 
     t0 = time.perf_counter()
     config = task.config
@@ -40,11 +40,8 @@ def execute_task(task: ExperimentTask) -> TaskResult:
 
     base = prepare_base_trace(config)
     system = config.system()
-    if task.case_study:
-        # Any case-study spec extends the system identically (§V-E).
-        _, eval_system = build_case_study_workload("S6", base, system, seed=config.seed)
-    else:
-        eval_system = system
+    # Every case-study workload extends the system identically (§V-E).
+    eval_system = powered_system(system) if task.case_study else system
 
     sched = make_method(task.method, eval_system, config, **dict(task.extra))
     if task.train:

@@ -18,10 +18,10 @@ import time
 
 import numpy as np
 
-from repro.cluster.resources import SystemConfig
-from repro.core.goal import goal_vector
+from repro.api.registry import paper_workloads
 from repro.core.mrsch import MRSchScheduler
 from repro.experiments.harness import (
+    PAPER_METHODS,
     ExperimentConfig,
     make_method,
     prepare_base_trace,
@@ -45,8 +45,8 @@ __all__ = [
     "overhead_study",
 ]
 
-S_WORKLOADS = ("S1", "S2", "S3", "S4", "S5")
-CASE_WORKLOADS = ("S6", "S7", "S8", "S9", "S10")
+S_WORKLOADS = paper_workloads()
+CASE_WORKLOADS = paper_workloads(case_study=True)
 
 _METRIC_COLUMNS = ("node_util", "bb_util", "avg_wait_h", "avg_slowdown")
 
@@ -140,7 +140,7 @@ def fig4_training_order(
 def fig5_fig6_comparison(
     config: ExperimentConfig | None = None,
     workloads: tuple[str, ...] = S_WORKLOADS,
-    methods: tuple[str, ...] = ("mrsch", "optimization", "scalar_rl", "heuristic"),
+    methods: tuple[str, ...] = PAPER_METHODS,
     runner: ExperimentRunner | None = None,
     n_workers: int = 1,
 ) -> dict:
@@ -273,7 +273,7 @@ def fig9_rbb_distribution(
 def fig10_three_resources(
     config: ExperimentConfig | None = None,
     workloads: tuple[str, ...] = CASE_WORKLOADS,
-    methods: tuple[str, ...] = ("mrsch", "optimization", "scalar_rl", "heuristic"),
+    methods: tuple[str, ...] = PAPER_METHODS,
     runner: ExperimentRunner | None = None,
     n_workers: int = 1,
 ) -> dict:
@@ -317,9 +317,9 @@ def overhead_study(
     for label, case_study in (("2 resources", False), ("3 resources", True)):
         system = config.system()
         if case_study:
-            from repro.workload.suites import scaled_power_budget_units
+            from repro.workload.suites import powered_system
 
-            system = system.with_power(scaled_power_budget_units(system))
+            system = powered_system(system)
         sched = make_method("mrsch", system, config)
         assert isinstance(sched, MRSchScheduler)
         rng = as_generator(config.seed)

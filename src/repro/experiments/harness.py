@@ -17,12 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.api.registry import SCHEDULERS, paper_methods
 from repro.cluster.resources import SystemConfig
-from repro.core.mrsch import MRSchScheduler
 from repro.core.training import TrainingResult, curriculum_training
 from repro.sched.base import Scheduler
 from repro.sched.ga import NSGA2Config
-from repro.sched.registry import make_scheduler
 from repro.sim.metrics import MetricReport
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.utils.rng import as_generator, spawn_generators
@@ -36,12 +35,18 @@ if TYPE_CHECKING:
 
 __all__ = ["ExperimentConfig", "prepare_base_trace", "train_method", "run_comparison"]
 
-PAPER_METHODS = ("mrsch", "optimization", "scalar_rl", "heuristic")
+#: the §IV-D comparison methods, sourced from the scheduler registry
+PAPER_METHODS = paper_methods()
 
 
 @dataclass
 class ExperimentConfig:
-    """Sizing and seeding of one experiment."""
+    """Sizing and seeding of one experiment.
+
+    Fields are validated at construction — an impossible sizing fails
+    immediately with a named-field :class:`ValueError` instead of a
+    downstream crash deep inside trace generation or training.
+    """
 
     nodes: int = 128
     bb_units: int = 64
@@ -54,9 +59,60 @@ class ExperimentConfig:
     #: GA budget (kept small: the GA is the slowest method per decision)
     ga_config: NSGA2Config = field(default_factory=lambda: NSGA2Config(population=12, generations=6))
     mean_interarrival: float = 600.0
+    #: system factory to instantiate (see ``repro.api.registry.SYSTEMS``);
+    #: the factory receives this config's ``nodes``/``bb_units`` sizing
+    system_name: str = "mini_theta"
+
+    def __post_init__(self) -> None:
+        for name in ("nodes", "bb_units", "n_jobs", "window_size", "jobs_per_trainset"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+                raise ValueError(
+                    f"ExperimentConfig.{name} must be a positive int, got {value!r}"
+                )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"ExperimentConfig.seed must be an int, got {self.seed!r}")
+        if self.mean_interarrival <= 0:
+            raise ValueError(
+                "ExperimentConfig.mean_interarrival must be positive (seconds "
+                f"between submissions), got {self.mean_interarrival!r}"
+            )
+        sets = self.curriculum_sets
+        if (
+            not isinstance(sets, (tuple, list))
+            or len(sets) != 3
+            or any(not isinstance(n, int) or n < 0 for n in sets)
+        ):
+            raise ValueError(
+                "ExperimentConfig.curriculum_sets must be three non-negative "
+                f"ints (sampled/real/synthetic jobset counts), got {sets!r}"
+            )
+        if not isinstance(self.system_name, str) or not self.system_name:
+            raise ValueError(
+                f"ExperimentConfig.system_name must be a registered system "
+                f"name, got {self.system_name!r}"
+            )
 
     def system(self) -> SystemConfig:
-        return SystemConfig.mini_theta(nodes=self.nodes, bb_units=self.bb_units)
+        from repro.api.registry import SYSTEMS
+        from repro.cluster.resources import BURST_BUFFER, NODE
+
+        system = SYSTEMS.get(self.system_name).build(
+            nodes=self.nodes, bb_units=self.bb_units
+        )
+        # A factory that fixes its own scale (e.g. "theta") may ignore
+        # the sizing arguments; trace generation uses `nodes` regardless,
+        # so a mismatch silently produces a near-idle or oversubscribed
+        # machine. Fail loudly with the value to set instead.
+        for resource, configured in ((NODE, self.nodes), (BURST_BUFFER, self.bb_units)):
+            if resource in system.names and system.capacity(resource) != configured:
+                raise ValueError(
+                    f"system {self.system_name!r} has {system.capacity(resource)} "
+                    f"{resource} units but the experiment is sized for "
+                    f"{configured}; set ExperimentConfig/"
+                    f"scenario sizing to match the system"
+                )
+        return system
 
     def trace_config(self, n_jobs: int | None = None) -> ThetaTraceConfig:
         return ThetaTraceConfig(
@@ -78,11 +134,20 @@ def make_method(
     seed: int | None = None,
     **kwargs,
 ) -> Scheduler:
-    """Instantiate a paper method with the experiment's sizing applied."""
+    """Instantiate a registered method with the experiment's sizing applied.
+
+    The registry entry's ``config_options`` map experiment-level knobs
+    to constructor kwargs (the NSGA-II budget, for instance). Per-method
+    ``kwargs`` (scenario options / ``ExperimentTask.extra``) take
+    precedence over the config-wide sizing, so an option like
+    ``window_size`` overrides instead of colliding.
+    """
     seed = config.seed if seed is None else seed
-    if name == "optimization":
-        kwargs.setdefault("config", config.ga_config)
-    return make_scheduler(name, system, window_size=config.window_size, seed=seed, **kwargs)
+    entry = SCHEDULERS.get(name)
+    for attr, ctor_kwarg in entry.config_options:
+        kwargs.setdefault(ctor_kwarg, getattr(config, attr))
+    call_kwargs = {"window_size": config.window_size, "seed": seed, **kwargs}
+    return entry.build(system, **call_kwargs)
 
 
 def train_method(
@@ -156,26 +221,23 @@ def run_comparison(
     curriculum-trained once and reused across workloads (matching the
     paper: one trained agent evaluated on S1–S5).
 
-    The grid executes on the :mod:`repro.exp` engine — one task per
-    method, each evaluating every workload in order. Pass ``runner`` (or
-    ``n_workers``) to fan methods out over processes, enable the result
-    cache, or checkpoint/resume; results are identical for any worker
-    count because each task is seeded independently.
+    Deprecated shim — delegates to :func:`repro.api.facade.compare`,
+    which compiles an inline :class:`~repro.api.scenario.Scenario` to
+    the identical (method × workload) grid on the :mod:`repro.exp`
+    engine. Pass ``runner`` (or ``n_workers``) to fan methods out over
+    processes; results are bit-identical at any worker count.
     """
-    from repro.exp.runner import ExperimentRunner, grid_tasks, pivot_results
+    from repro.api.facade import compare
 
-    config = config or ExperimentConfig()
-    methods = list(methods or PAPER_METHODS)
-    runner = runner or ExperimentRunner(n_workers=n_workers)
-    tasks = grid_tasks(
-        methods, workloads, config, train=train, case_study=case_study
+    return compare(
+        workloads=list(workloads),
+        methods=list(methods) if methods is not None else None,
+        config=config or ExperimentConfig(),
+        train=train,
+        case_study=case_study,
+        runner=runner,
+        n_workers=n_workers,
     )
-    results = pivot_results(runner.run(tasks))
-    # Preserve the caller's workload/method ordering in the output dict.
-    return {
-        workload: {method: results[workload][method] for method in methods}
-        for workload in workloads
-    }
 
 
 def run_single(
@@ -183,17 +245,26 @@ def run_single(
     method: str,
     config: ExperimentConfig | None = None,
     train: bool = True,
+    **kwargs,
 ) -> tuple[SimulationResult, Scheduler]:
     """Run one (method, workload) pair; returns (result, scheduler).
 
     The scheduler is returned so callers can read agent internals — the
-    goal-vector log behind Figs 8–9 in particular.
+    goal-vector log behind Figs 8–9 in particular. Case-study workloads
+    (power-profiled, per their registry metadata) are evaluated on the
+    matching power-extended system automatically. Extra ``kwargs``
+    reach the scheduler constructor (scenario-style method options).
     """
+    from repro.api.registry import WORKLOADS
+
     config = config or ExperimentConfig()
     system = config.system()
     base = prepare_base_trace(config)
-    jobs = build_workload(workload, base, system, seed=config.seed)
-    sched = make_method(method, system, config)
+    if isinstance(workload, str) and WORKLOADS.get(workload).case_study:
+        jobs, system = build_case_study_workload(workload, base, system, seed=config.seed)
+    else:
+        jobs = build_workload(workload, base, system, seed=config.seed)
+    sched = make_method(method, system, config, **kwargs)
     if train:
         train_method(sched, system, config)
     result = Simulator(system, sched).run(jobs)

@@ -1,21 +1,29 @@
-"""Scheduler factory keyed by the paper's method names."""
+"""Scheduler factory keyed by the paper's method names.
+
+.. deprecated::
+    This module is a thin compatibility shim over the pluggable
+    registry in :mod:`repro.api.registry`. New code should use
+    ``repro.api`` (``SCHEDULERS``, ``register_scheduler``,
+    ``run_scenario``); the functions here keep their original
+    signatures and delegate.
+"""
 
 from __future__ import annotations
 
 from repro.cluster.resources import SystemConfig
 from repro.sched.base import Scheduler
-from repro.sched.fcfs import FCFSScheduler
-from repro.sched.ga import GAScheduler
-from repro.sched.scalar_rl import ScalarRLScheduler
 
 __all__ = ["make_scheduler", "available_schedulers"]
 
-_METHODS = ("heuristic", "optimization", "scalar_rl", "mrsch")
-
 
 def available_schedulers() -> tuple[str, ...]:
-    """Names accepted by :func:`make_scheduler` (paper §IV-D methods)."""
-    return _METHODS
+    """Names accepted by :func:`make_scheduler` (registry order).
+
+    Deprecated shim — equivalent to :func:`repro.api.list_schedulers`.
+    """
+    from repro.api.registry import SCHEDULERS
+
+    return SCHEDULERS.names()
 
 
 def make_scheduler(
@@ -25,22 +33,19 @@ def make_scheduler(
     seed: int | None = None,
     **kwargs,
 ) -> Scheduler:
-    """Instantiate a comparison method by its paper name.
+    """Instantiate a registered scheduler by name (case-insensitive).
 
     ``heuristic`` → FCFS list scheduling, ``optimization`` → NSGA-II,
-    ``scalar_rl`` → fixed-weight REINFORCE, ``mrsch`` → the DFP agent.
-    Extra keyword arguments are forwarded to the scheduler constructor.
-    """
-    key = name.lower()
-    if key == "heuristic":
-        return FCFSScheduler(window_size=window_size, **kwargs)
-    if key == "optimization":
-        return GAScheduler(window_size=window_size, seed=seed, **kwargs)
-    if key == "scalar_rl":
-        return ScalarRLScheduler(system, window_size=window_size, seed=seed, **kwargs)
-    if key == "mrsch":
-        # Imported lazily: repro.core depends on repro.sched.base.
-        from repro.core.mrsch import MRSchScheduler
+    ``scalar_rl`` → fixed-weight REINFORCE, ``mrsch`` → the DFP agent —
+    plus anything registered via
+    :func:`repro.api.registry.register_scheduler`. Extra keyword
+    arguments are forwarded to the scheduler constructor.
 
-        return MRSchScheduler(system, window_size=window_size, seed=seed, **kwargs)
-    raise KeyError(f"unknown scheduler {name!r}; choose from {_METHODS}")
+    Deprecated shim — equivalent to
+    ``repro.api.SCHEDULERS.get(name).build(...)``.
+    """
+    from repro.api.registry import SCHEDULERS
+
+    return SCHEDULERS.get(name).build(
+        system, window_size=window_size, seed=seed, **kwargs
+    )

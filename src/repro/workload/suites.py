@@ -42,6 +42,7 @@ __all__ = [
     "CASE_STUDY_SPECS",
     "build_workload",
     "build_case_study_workload",
+    "powered_system",
     "scaled_power_budget_units",
 ]
 
@@ -155,12 +156,15 @@ def build_workload(
     are scaled by ``spec.node_scale`` (min 1) and clipped to capacity;
     the configured fraction of jobs receives a burst-buffer request
     sampled from the empirical range.
+
+    A string ``spec`` is resolved through the workload registry
+    (:data:`repro.api.registry.WORKLOADS`), so workloads registered via
+    ``@register_workload`` — not just the paper's S1–S10 — build here.
     """
     if isinstance(spec, str):
-        try:
-            spec = {**WORKLOAD_SPECS, **CASE_STUDY_SPECS}[spec]
-        except KeyError:
-            raise KeyError(f"unknown workload {spec!r}") from None
+        from repro.api.registry import WORKLOADS
+
+        return WORKLOADS.get(spec).build(base_jobs, system, seed)
     rng = as_generator(seed)
     node_cap = system.capacity(NODE)
     bb_cap = system.capacity(BURST_BUFFER)
@@ -218,21 +222,32 @@ def _attach_power_profiles(
     return jobs
 
 
+def powered_system(system: SystemConfig) -> SystemConfig:
+    """The §V-E evaluation system: ``system`` plus the scaled power budget."""
+    return system.with_power(scaled_power_budget_units(system))
+
+
 def build_case_study_workload(
     spec: WorkloadSpec | str,
     base_jobs: list[Job],
     system: SystemConfig,
     seed: int | np.random.Generator | None = None,
 ) -> tuple[list[Job], SystemConfig]:
-    """Build an S6–S10 workload and the matching power-extended system.
+    """Build a case-study workload and the matching power-extended system.
 
-    Returns ``(jobs, system_with_power)``; the power budget is scaled per
-    :func:`scaled_power_budget_units`.
+    Returns ``(jobs, system_with_power)``; the power budget is scaled
+    per :func:`scaled_power_budget_units`. String names resolve through
+    the workload registry and must be registered as case-study
+    (``with_power``/power-profiled) workloads.
     """
+    powered = powered_system(system)
     if isinstance(spec, str):
-        spec = CASE_STUDY_SPECS[spec]
+        from repro.api.registry import WORKLOADS
+
+        entry = WORKLOADS.get(spec)
+        if not entry.case_study:
+            raise ValueError(f"{entry.name} is not a case-study (power) workload")
+        return entry.build(base_jobs, powered, seed), powered
     if not spec.with_power:
         raise ValueError(f"{spec.name} is not a case-study (power) workload")
-    powered = system.with_power(scaled_power_budget_units(system))
-    jobs = build_workload(spec, base_jobs, powered, seed=seed)
-    return jobs, powered
+    return build_workload(spec, base_jobs, powered, seed=seed), powered

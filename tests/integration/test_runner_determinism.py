@@ -167,6 +167,102 @@ class TestLabelRecall:
         assert second.metrics["S1"].full_dict() == first.metrics["S1"].full_dict()
 
 
+class TestScenarioCompilation:
+    """The declarative layer (PR 2) preserves the engine's guarantees:
+    a scenario-compiled grid reproduces harness metrics bit-identically,
+    and plugin schedulers run with zero edits to core modules."""
+
+    def test_scenario_grid_reproduces_harness_metrics_bit_identically(
+        self, grid_config
+    ):
+        """Compared against grid_tasks + the engine *directly* — not the
+        run_comparison shim, which now shares the scenario code path —
+        so a compile regression cannot cancel out of both sides."""
+        from repro.api import Scenario, run_scenario
+
+        engine_results = ExperimentRunner(n_workers=1).run(
+            grid_tasks(METHODS, ["S1", "S3"], grid_config)
+        )
+        engine_reports = pivot_results(engine_results)
+        scenario = Scenario(
+            methods=tuple(METHODS), workloads=("S1", "S3"), train=False
+        )
+        result = run_scenario(scenario, config=grid_config, n_workers=2)
+        assert {
+            w: {m: r.full_dict() for m, r in per.items()}
+            for w, per in result.reports.items()
+        } == {
+            w: {m: engine_reports[w][m].full_dict() for m in METHODS}
+            for w in ("S1", "S3")
+        }
+        # Same cells → same config hashes → the result cache keys match.
+        assert [t.key() for t in result.tasks] == [r.key for r in engine_results]
+
+    def test_scenario_file_round_trip_is_bit_identical(self, grid_config, tmp_path):
+        """Loading the same scenario from disk twice (and from a dict
+        with reordered keys) produces identical metrics and cache keys."""
+        import json
+
+        from repro.api import Scenario, run_scenario
+
+        data = {
+            "name": "round-trip",
+            "methods": list(METHODS),
+            "workloads": ["S1"],
+            "system": {"name": "mini_theta", "nodes": 32, "bb_units": 16},
+            "seed": 97,
+            "train": False,
+            "config": {
+                "n_jobs": 30,
+                "window_size": 5,
+                "curriculum_sets": [1, 1, 1],
+                "jobs_per_trainset": 15,
+                "ga": {"population": 6, "generations": 2},
+            },
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(data))
+        from_file = run_scenario(str(path))
+        from_dict = run_scenario(dict(reversed(list(data.items()))))
+        assert _exact(from_file.results) == _exact(from_dict.results)
+        assert (
+            Scenario.from_file(path).config_hash()
+            == Scenario.from_dict(data).config_hash()
+        )
+
+    def test_plugin_scheduler_runs_through_run_scenario(self, grid_config):
+        """Registering a toy scheduler via decorator requires zero edits
+        to core modules: it is immediately addressable from a scenario."""
+        from repro.api import SCHEDULERS, register_scheduler, run_scenario
+        from repro.sched.base import WindowPolicyScheduler
+
+        instantiated = []
+
+        @register_scheduler("toy_lifo", description="newest-job-first toy policy")
+        class ToyLIFOScheduler(WindowPolicyScheduler):
+            name = "toy_lifo"
+
+            def __init__(self, window_size=10, backfill=True):
+                super().__init__(window_size=window_size, backfill=backfill)
+                instantiated.append(self)
+
+            def rank(self, window, ctx):
+                return list(reversed(window))
+
+        try:
+            result = run_scenario(
+                {"methods": ["toy_lifo", "heuristic"], "workloads": ["S1"],
+                 "train": False},
+                config=grid_config,
+            )
+            assert len(instantiated) == 1  # the toy policy really executed
+            toy = result.reports["S1"]["toy_lifo"].full_dict()
+            fcfs = result.reports["S1"]["heuristic"].full_dict()
+            assert toy["n_jobs"] == fcfs["n_jobs"] == grid_config.n_jobs
+        finally:
+            SCHEDULERS.unregister("toy_lifo")
+
+
 class TestSeedSpawning:
     def test_grid_seeds_are_independent_and_stable(self, grid_config):
         tasks_a = grid_tasks(METHODS, ["S1"], grid_config, n_seeds=3)

@@ -170,6 +170,69 @@ class TestBackfill:
         assert bf1.start_time == 0.0
         assert bf2.start_time is None  # spare exhausted (4-3=1 < 3)
 
+    def test_spare_path_admission_decrements_then_blocks(self, node_only_system):
+        """Spare-unit accounting end to end: the first long job consumes
+        spare units, a second long job that fits free capacity (and the
+        *original* spare) but not the reduced spare must not backfill,
+        while a third that fits the remainder still may."""
+        pool = ResourcePool(node_only_system)
+        running = njob(1, nodes=3, walltime=1000.0, runtime=1000.0)
+        pool.allocate(running, now=0.0)
+        big = njob(2, nodes=8)  # 8 > 7 free: reserved; shadow=1000, spare=2
+        bf1 = njob(3, nodes=1, walltime=9000.0, runtime=9000.0)  # spare 2→1
+        bf2 = njob(4, nodes=2, walltime=9000.0, runtime=9000.0)  # 2 > 1: no
+        bf3 = njob(5, nodes=1, walltime=9000.0, runtime=9000.0)  # 1 <= 1: yes
+        queue = [big, bf1, bf2, bf3]
+        sched = FCFSScheduler(window_size=5, backfill=True)
+        sched.schedule(make_ctx(node_only_system, pool, queue))
+        assert bf1.start_time == 0.0
+        # bf2 fits free capacity (6 nodes idle) — only the decremented
+        # spare blocks it; without the decrement it would delay job 2.
+        assert bf2.start_time is None
+        assert bf3.start_time == 0.0
+
+    def test_shadow_terminating_job_does_not_consume_spare(self, node_only_system):
+        """A job admitted because it ends before the shadow time frees
+        its units before the reservation starts — it must NOT reduce the
+        spare pool for later spare-path candidates."""
+        pool = ResourcePool(node_only_system)
+        running = njob(1, nodes=4, walltime=1000.0, runtime=1000.0)
+        pool.allocate(running, now=0.0)
+        big = njob(2, nodes=8)  # 8 > 6 free: reserved; shadow=1000, spare=2
+        short = njob(3, nodes=4, walltime=500.0, runtime=500.0)  # ends at 500
+        long_job = njob(4, nodes=2, walltime=9000.0, runtime=9000.0)
+        queue = [big, short, long_job]
+        sched = FCFSScheduler(window_size=5, backfill=True)
+        sched.schedule(make_ctx(node_only_system, pool, queue))
+        assert short.start_time == 0.0  # shadow-terminating path
+        # The short job frees its 4 nodes at t=500 < shadow, so it must
+        # not charge the spare pool: the long job's 2 nodes still fit the
+        # intact spare of 2 and may start. (A buggy decrement would have
+        # left spare at -2 and blocked it.)
+        assert long_job.start_time == 0.0
+
+    def test_spare_accounting_is_per_resource(self):
+        """Multi-resource spare accounting: exhausting the BB spare must
+        block a BB-hungry candidate even when node spare remains."""
+        system = SystemConfig(
+            resources=(ResourceSpec(NODE, 10), ResourceSpec("burst_buffer", 8))
+        )
+        pool = ResourcePool(system)
+        running = make_job(job_id=1, runtime=1000.0, walltime=1000.0, nodes=6, bb=2)
+        pool.allocate(running, now=0.0)
+        # Reservation: 6 nodes + 6 BB → shadow=1000, spare: node 4, bb 2.
+        big = make_job(job_id=2, runtime=1000.0, walltime=1000.0, nodes=6, bb=6)
+        bf1 = make_job(job_id=3, runtime=9000.0, walltime=9000.0, nodes=1, bb=2)
+        bf2 = make_job(job_id=4, runtime=9000.0, walltime=9000.0, nodes=1, bb=1)
+        queue = [big, bf1, bf2]
+        sched = FCFSScheduler(window_size=5, backfill=True)
+        sched.schedule(make_ctx(system, pool, queue))
+        assert bf1.start_time == 0.0  # consumes the whole BB spare
+        # bf2 fits capacity (3 free nodes, 4 free BB) and node spare (3),
+        # but the BB spare is exhausted — admitting it could delay the
+        # reservation's burst buffer.
+        assert bf2.start_time is None
+
     def test_no_backfill_without_reservation(self, node_only_system):
         pool = ResourcePool(node_only_system)
         queue = [njob(1, nodes=2), njob(2, nodes=2)]

@@ -1,0 +1,131 @@
+"""Tests for the ``repro`` command-line entry point."""
+
+import json
+
+import pytest
+
+from repro.api.cli import main
+
+TINY = {
+    "name": "cli-tiny",
+    "methods": ["heuristic"],
+    "workloads": ["S1"],
+    "system": {"name": "mini_theta", "nodes": 32, "bb_units": 16},
+    "seed": 3,
+    "train": False,
+    "config": {"n_jobs": 20, "window_size": 5},
+}
+
+
+@pytest.fixture
+def tiny_file(tmp_path):
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(TINY))
+    return str(path)
+
+
+class TestList:
+    def test_text(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for section in ("Schedulers:", "Workloads:", "Systems:"):
+            assert section in out
+        assert "mrsch" in out and "S5" in out and "mini_theta" in out
+        assert "trainable" in out and "case-study" in out
+
+    def test_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        names = [e["name"] for e in snapshot["schedulers"]]
+        assert "heuristic" in names
+        assert any(w["case_study"] for w in snapshot["workloads"])
+
+    def test_handles_plugin_without_description(self, capsys):
+        from repro.api import SCHEDULERS, register_scheduler
+
+        register_scheduler("toy_undescribed")(lambda system, **kw: None)
+        try:
+            assert main(["list"]) == 0
+            assert "toy_undescribed" in capsys.readouterr().out
+        finally:
+            SCHEDULERS.unregister("toy_undescribed")
+
+
+class TestRun:
+    def test_runs_scenario_file(self, tiny_file, capsys):
+        assert main(["run", tiny_file]) == 0
+        out = capsys.readouterr().out
+        assert "cli-tiny" in out and "node_util" in out and "heuristic" in out
+
+    def test_json_output(self, tiny_file, capsys):
+        assert main(["run", tiny_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["name"] == "cli-tiny"
+        assert "S1" in payload["reports"]
+        assert "utilization" in payload["reports"]["S1"]["heuristic"]
+
+    def test_seed_override_changes_metrics(self, tiny_file, capsys):
+        main(["run", tiny_file, "--json"])
+        base = json.loads(capsys.readouterr().out)
+        main(["run", tiny_file, "--json", "--seed", "99"])
+        overridden = json.loads(capsys.readouterr().out)
+        assert base["reports"] != overridden["reports"]
+        assert base["scenario_hash"] != overridden["scenario_hash"]
+
+    def test_seed_override_replaces_explicit_seeds(self, tmp_path, capsys):
+        """--seed must re-seed even a scenario that pins a seeds list."""
+        path = tmp_path / "seeded.json"
+        path.write_text(json.dumps({**TINY, "seeds": [5, 6]}))
+        assert main(["run", str(path), "--json", "--seed", "99"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["seed"] == 99
+        assert "seeds" not in payload["scenario"]
+        assert list(payload["reports"]["S1"]) == ["heuristic"]  # one cell
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert main(["run", "does/not/exist.json"]) == 1
+        assert "scenario file not found" in capsys.readouterr().err
+
+    def test_invalid_scenario_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({**TINY, "methods": ["slurm"]}))
+        assert main(["run", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "unknown scheduler 'slurm'" in err
+
+    def test_checkpoint_roundtrip(self, tiny_file, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt.jsonl"
+        assert main(["run", tiny_file, "--checkpoint", str(ckpt), "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert list(first["sources"].values()) == ["run"]
+        assert main(["run", tiny_file, "--checkpoint", str(ckpt), "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert list(second["sources"].values()) == ["checkpoint"]
+        assert first["reports"] == second["reports"]
+
+
+class TestCompare:
+    def test_inline_grid(self, capsys):
+        code = main(
+            ["compare", "--methods", "heuristic", "--workloads", "S1,S3",
+             "--nodes", "32", "--bb-units", "16", "--n-jobs", "20",
+             "--window-size", "5", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compare — S1" in out and "compare — S3" in out
+
+    def test_unknown_method_is_an_error(self, capsys):
+        code = main(["compare", "--methods", "slurm", "--workloads", "S1"])
+        assert code == 1
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_json_with_seeds(self, capsys):
+        code = main(
+            ["compare", "--methods", "heuristic", "--workloads", "S1",
+             "--seeds", "5", "6", "--nodes", "32", "--bb-units", "16",
+             "--n-jobs", "20", "--window-size", "5", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["S1"]) == {"heuristic@5", "heuristic@6"}
