@@ -1,0 +1,108 @@
+"""Offline evaluation benchmark: batched trace replay vs re-simulation.
+
+The point of `repro.eval`: once a simulation has been recorded as a
+decision trace, scoring another policy on the *same* decision points is
+one batched forward pass (`DFPAgent.action_scores_batch` for DFP
+policies, a vectorised feature expression for heuristics) instead of a
+full event-driven replay. This benchmark records one mrsch trace, then
+measures
+
+1. **re-simulation** — the legacy way to ask "what would this policy
+   have done": run the whole simulator again, and
+2. **offline replay** — score every recorded decision through the
+   batched DFP path plus three feature heuristics, including the full
+   agreement/regret/bootstrap report.
+
+The replay path must be ≥ 10× faster than a single re-simulation (it is
+typically far more, and the gap widens with every extra policy, since
+re-simulation pays the event loop per policy while replay shares the
+recorded decision points).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.eval.evaluator import evaluate_traces
+from repro.eval.policies import DFPReplayPolicy, fcfs_policy, prior_policy, shortest_job_policy
+from repro.eval.recorder import DecisionTraceRecorder
+from repro.experiments.harness import ExperimentConfig, make_method, prepare_base_trace
+from repro.experiments.report import format_table
+from repro.sim.simulator import Simulator
+from repro.workload.suites import build_workload
+
+MIN_SPEEDUP = 10.0
+
+
+def _setup():
+    config = ExperimentConfig(
+        nodes=128, bb_units=64, n_jobs=150, window_size=10, seed=2022
+    )
+    system = config.system()
+    base = prepare_base_trace(config)
+    jobs = build_workload("S3", base, system, seed=config.seed)
+    sched = make_method("mrsch", system, config)
+    return config, system, jobs, sched
+
+
+def test_offline_replay_speedup(save_result):
+    config, system, jobs, sched = _setup()
+
+    recorder = DecisionTraceRecorder()
+    recorder.start(method="mrsch", workload="S3", seed=config.seed, task_key="bench")
+    sched.decision_recorder = recorder
+    t0 = time.perf_counter()
+    Simulator(system, sched).run(jobs)
+    t_record = time.perf_counter() - t0
+    trace = recorder.finish()
+    sched.decision_recorder = None
+
+    # 1. Re-simulation: what one more policy evaluation used to cost.
+    t0 = time.perf_counter()
+    Simulator(system, sched).run(jobs)
+    t_resim = time.perf_counter() - t0
+
+    # 2. Offline replay: four policies on the shared decision points,
+    #    metrics and paired bootstrap included.
+    policies = {
+        "dfp": DFPReplayPolicy.from_scheduler(sched),
+        "fcfs": fcfs_policy,
+        "shortest_job": shortest_job_policy,
+        "prior": prior_policy,
+    }
+    t0 = time.perf_counter()
+    report = evaluate_traces([trace], policies, n_bootstrap=200)
+    t_replay_all = time.perf_counter() - t0
+
+    # The per-policy replay cost (the number to compare with one
+    # re-simulation): one batched DFP scoring pass over the trace.
+    dfp = policies["dfp"]
+    t0 = time.perf_counter()
+    dfp(trace)
+    t_replay_one = time.perf_counter() - t0
+
+    # Sanity: the replay is faithful, not just fast.
+    assert report.agreement["dfp"] == 1.0, "self-replay must match logged actions"
+    assert report.n_decisions == trace.n_decisions > 0
+
+    speedup_one = t_resim / t_replay_one
+    speedup_all = (4 * t_resim) / t_replay_all
+    rows = {
+        "record once (sim + capture)": [t_record * 1e3, float("nan")],
+        "re-simulate (per policy)": [t_resim * 1e3, 1.0],
+        "offline replay, 1 policy": [t_replay_one * 1e3, speedup_one],
+        "offline replay, 4 policies + stats": [t_replay_all * 1e3, speedup_all],
+    }
+    save_result(
+        "bench_offline_eval",
+        format_table(
+            f"Offline eval — {trace.n_decisions} decisions, S3 × mrsch "
+            f"({config.n_jobs} jobs)",
+            ["ms", "speedup vs resim"],
+            rows,
+        ),
+    )
+    assert speedup_one >= MIN_SPEEDUP, (
+        f"offline replay should be >= {MIN_SPEEDUP:.0f}x faster than "
+        f"re-simulation, got {speedup_one:.1f}x"
+    )

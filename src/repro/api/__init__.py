@@ -22,6 +22,7 @@ from repro.api.facade import (
     ScenarioResult,
     compare,
     describe_components,
+    evaluate_traces,
     list_schedulers,
     list_systems,
     list_workloads,
@@ -50,6 +51,7 @@ __all__ = [
     "run_scenario",
     "compare",
     "run_single",
+    "evaluate_traces",
     "ScenarioResult",
     "list_schedulers",
     "list_workloads",

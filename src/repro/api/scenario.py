@@ -67,9 +67,11 @@ _ALLOWED_KEYS = frozenset(
         "goal",
         "options",
         "config",
+        "evaluation",
     }
 )
 _SYSTEM_KEYS = frozenset({"name", "nodes", "bb_units"})
+_EVALUATION_KEYS = frozenset({"policies", "trace_dir", "bootstrap", "seed"})
 _CONFIG_KEYS = frozenset(
     {
         "n_jobs",
@@ -116,6 +118,13 @@ class Scenario:
     options: Mapping = field(default_factory=dict)
     #: :class:`~repro.experiments.harness.ExperimentConfig` overrides
     config: Mapping = field(default_factory=dict)
+    #: offline-evaluation section: any non-empty mapping turns on
+    #: decision-trace capture for every compiled cell. Keys:
+    #: ``policies`` (registered offline policy names compared after the
+    #: run), ``trace_dir`` (trace store location, overridable by the
+    #: ``run_scenario`` argument), ``bootstrap`` (resample count) and
+    #: ``seed`` (bootstrap RNG seed).
+    evaluation: Mapping = field(default_factory=dict)
 
     # -- validation -------------------------------------------------------
 
@@ -284,6 +293,52 @@ class Scenario:
             )
 
         _require(
+            isinstance(self.evaluation, Mapping),
+            f"scenario.evaluation must be a mapping, got "
+            f"{type(self.evaluation).__name__}",
+        )
+        if self.evaluation:
+            unknown = set(self.evaluation) - _EVALUATION_KEYS
+            _require(
+                not unknown,
+                f"unknown evaluation field(s) {sorted(unknown)}; "
+                f"allowed: {sorted(_EVALUATION_KEYS)}",
+            )
+            policies = self.evaluation.get("policies")
+            if policies is not None:
+                _require(
+                    isinstance(policies, (list, tuple)) and len(policies) > 0,
+                    f"evaluation.policies must be a non-empty list, got {policies!r}",
+                )
+                # Resolved against the offline-policy registry so a typo
+                # fails at load time, not after the whole grid has run.
+                from repro.eval.policies import get_eval_policy
+
+                for policy in policies:
+                    try:
+                        get_eval_policy(policy)
+                    except KeyError as exc:
+                        raise ValueError(exc.args[0]) from None
+            trace_dir = self.evaluation.get("trace_dir")
+            _require(
+                trace_dir is None or (isinstance(trace_dir, str) and trace_dir),
+                f"evaluation.trace_dir must be a non-empty string, got {trace_dir!r}",
+            )
+            bootstrap = self.evaluation.get("bootstrap")
+            _require(
+                bootstrap is None
+                or (isinstance(bootstrap, int) and not isinstance(bootstrap, bool)
+                    and bootstrap >= 1),
+                f"evaluation.bootstrap must be a positive int, got {bootstrap!r}",
+            )
+            eval_seed = self.evaluation.get("seed")
+            _require(
+                eval_seed is None
+                or (isinstance(eval_seed, int) and not isinstance(eval_seed, bool)),
+                f"evaluation.seed must be an int, got {eval_seed!r}",
+            )
+
+        _require(
             isinstance(self.config, Mapping),
             f"scenario.config must be a mapping, got {type(self.config).__name__}",
         )
@@ -399,6 +454,8 @@ class Scenario:
             out["options"] = {m: dict(kw) for m, kw in self.options.items()}
         if self.config:
             out["config"] = dict(self.config)
+        if self.evaluation:
+            out["evaluation"] = dict(self.evaluation)
         return out
 
     def config_hash(self) -> str:
@@ -521,6 +578,7 @@ class Scenario:
                 train=self.train,
                 case_study=bool(self.case_study),
                 extra=self._method_extra(method),
+                capture_traces=bool(self.evaluation),
             )
             for seed in seeds
             for method in self.methods

@@ -108,6 +108,10 @@ class MRSchScheduler(Scheduler):
         self._goal = np.full(system.n_resources, 1.0 / system.n_resources)
         self._steps: list[tuple[np.ndarray, np.ndarray, np.ndarray, int]] = []
         self._measurements: list[np.ndarray] = []
+        #: inputs/outputs of the last select(), for the trace recorder
+        self._last_features: dict | None = None
+        self._last_prior: np.ndarray | None = None
+        self._last_scores: np.ndarray | None = None
 
     # -- scheduler hooks ---------------------------------------------------
 
@@ -173,9 +177,12 @@ class MRSchScheduler(Scheduler):
             peak = float(np.abs(scores[mask]).max()) if mask.any() else 0.0
             if peak > 0:
                 scores = scores * (self._DFP_TIEBREAK_SCALE / peak)
-            combined = self.prior_weight * self._prior(window, ctx) + scores
+            prior = self._prior(window, ctx)
+            combined = self.prior_weight * prior + scores
             combined = np.where(mask, combined, -np.inf)
             action = int(np.argmax(combined))
+            self._last_prior = prior
+            self._last_scores = combined
         if self.training:
             agent.epsilon = max(
                 agent.config.epsilon_min,
@@ -189,12 +196,32 @@ class MRSchScheduler(Scheduler):
         state = self.encoder.encode(window, ctx.pool, ctx.now)
         measurement = measurement_vector(ctx.pool)
         mask = self.encoder.window_mask(window)
+        self._last_prior = None
+        self._last_scores = None
         if self.prior_weight > 0.0:
             action = self._guided_act(state, measurement, mask, window, ctx)
         else:
             action = self.agent.act(
                 state, measurement, self._goal, mask, explore=self.training
             )
+        if self.decision_recorder is not None:
+            # Assembled only while tracing so the untraced hot path stays
+            # allocation-free.
+            prior = self._last_prior
+            if prior is None and self.prior_weight > 0.0:
+                # ε-greedy exploration skipped the guided computation,
+                # but a trace must still carry the prior that governs
+                # this policy's greedy rule — offline replay would
+                # otherwise score the decision with a zero prior.
+                prior = self._prior(window, ctx)
+            self._last_features = {
+                "state": state,
+                "measurement": measurement,
+                "goal": self._goal.copy(),
+                "prior": prior,
+                "scores": self._last_scores,
+                "slot_dim": self.encoder.job_dim,
+            }
         job = window[action]
         if self.training:
             terminal = not ctx.pool.can_fit(job)  # this pick becomes a reservation
@@ -203,6 +230,16 @@ class MRSchScheduler(Scheduler):
             )
             self._measurements.append(measurement)
         return job
+
+    def decision_features(self, window: list[Job], ctx: SchedulingContext) -> dict | None:
+        """The exact inputs/outputs the last :meth:`select` decided on.
+
+        ``scores`` are the final combined decision scores (``None`` on
+        ε-greedy exploration steps or the pure-DFP path, where the agent
+        keeps them internal); ``prior`` is the raw feasibility/age prior
+        before weighting.
+        """
+        return self._last_features
 
     # -- episode lifecycle ------------------------------------------------
 

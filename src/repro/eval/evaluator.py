@@ -1,0 +1,197 @@
+"""Offline replay of recorded traces through policies, plus metrics.
+
+:func:`evaluate_traces` is the subsystem's workhorse: every policy
+scores every recorded decision in one vectorised pass per trace (for
+DFP agents that is the batched
+:meth:`~repro.core.dfp.DFPAgent.action_scores_batch` path), choices are
+taken by masked argmax, and the per-decision results aggregate into
+
+* **agreement** with the logged actions and between policy pairs,
+* **rank correlation** (mean per-decision Spearman over valid slots),
+* **counterfactual score regret** — how much score policy *q* believes
+  is lost by following policy *p*'s choices,
+
+wrapped with the paired-bootstrap statistics of
+:mod:`repro.eval.stats` into a :class:`~repro.eval.stats.ComparisonReport`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.eval.policies import build_policies
+from repro.eval.stats import ComparisonReport, paired_bootstrap, spearman_rows, win_loss
+from repro.eval.trace import DecisionTrace
+
+__all__ = ["policy_choices", "evaluate_traces"]
+
+
+def policy_choices(trace: DecisionTrace, scores: np.ndarray) -> np.ndarray:
+    """Masked argmax over valid slots; NaN scores count as unavailable."""
+    masked = np.where(trace.masks, scores, -np.inf)
+    masked = np.where(np.isnan(masked), -np.inf, masked)
+    return masked.argmax(axis=1)
+
+
+def _per_decision_regret(
+    scorer_scores: np.ndarray, actor_choices: np.ndarray, masks: np.ndarray
+) -> np.ndarray:
+    """(N,) regret of the actor's choices under the scorer's valuations.
+
+    NaN scores count as unavailable (matching :func:`policy_choices`);
+    decisions where the scorer has no finite score for the taken slot —
+    or no finite score at all — return NaN and are excluded from the
+    mean by the caller, instead of poisoning the whole regret row.
+    """
+    valid = np.where(masks & np.isfinite(scorer_scores), scorer_scores, -np.inf)
+    best = valid.max(axis=1)
+    taken = valid[np.arange(valid.shape[0]), actor_choices]
+    defined = np.isfinite(best) & np.isfinite(taken)
+    return np.subtract(
+        best, taken, out=np.full(best.shape, np.nan), where=defined
+    )
+
+
+def evaluate_traces(
+    traces: "Iterable[DecisionTrace]",
+    policies: "Sequence[str] | Mapping[str, object]",
+    n_bootstrap: int = 1000,
+    bootstrap_seed: int = 0,
+) -> ComparisonReport:
+    """Compare ``policies`` on the shared decision points of ``traces``.
+
+    ``policies`` is a list of registered policy names or a mapping
+    ``{label: scorer}`` (mix registered names with e.g. a
+    :class:`~repro.eval.policies.DFPReplayPolicy` instance). The paired
+    bootstrap resamples seeds when the traces span several, falling back
+    to traces, then decisions — so a single-trace comparison still gets
+    a defensible interval.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("evaluate_traces needs at least one trace")
+    scorers = build_policies(policies)
+    if not scorers:
+        raise ValueError("evaluate_traces needs at least one policy")
+    names = tuple(scorers)
+    n_pol = len(names)
+
+    total = sum(t.n_decisions for t in traces)
+    match_counts = np.zeros(n_pol)
+    pair_counts = np.zeros((n_pol, n_pol))
+    regret_sums = np.zeros((n_pol, n_pol))
+    regret_ns = np.zeros((n_pol, n_pol))
+    rank_sums = np.zeros((n_pol, n_pol))
+    rank_ns = np.zeros((n_pol, n_pol))
+    trace_matches = np.zeros((len(traces), n_pol))
+    trace_sizes = np.zeros(len(traces))
+    decision_matches: list[np.ndarray] = []
+    per_trace: dict = {}
+
+    for t_idx, trace in enumerate(traces):
+        scores = {}
+        for name in names:
+            s = np.asarray(scorers[name](trace), dtype=float)
+            if s.shape != trace.masks.shape:
+                raise ValueError(
+                    f"policy {name!r} returned shape {s.shape}, "
+                    f"expected {trace.masks.shape}"
+                )
+            scores[name] = s
+        choices = np.stack(
+            [policy_choices(trace, scores[name]) for name in names], axis=1
+        )  # (N, P)
+
+        matches = choices == trace.actions[:, None]
+        decision_matches.append(matches.astype(float))
+        trace_matches[t_idx] = matches.sum(axis=0)
+        trace_sizes[t_idx] = trace.n_decisions
+        match_counts += matches.sum(axis=0)
+        pair_counts += (choices[:, :, None] == choices[:, None, :]).sum(axis=0)
+
+        for qi, q in enumerate(names):
+            for pi in range(n_pol):
+                regrets = _per_decision_regret(
+                    scores[q], choices[:, pi], trace.masks
+                )
+                defined = np.isfinite(regrets)
+                regret_sums[qi, pi] += regrets[defined].sum()
+                regret_ns[qi, pi] += defined.sum()
+            for pi in range(qi + 1, n_pol):
+                # One vectorised pass per policy pair; NaN rows (fewer
+                # than two valid slots, constant scores) drop out.
+                rhos = spearman_rows(scores[q], scores[names[pi]], trace.masks)
+                finite = np.isfinite(rhos)
+                rank_sums[qi, pi] += rhos[finite].sum()
+                rank_sums[pi, qi] += rhos[finite].sum()
+                rank_ns[qi, pi] += finite.sum()
+                rank_ns[pi, qi] += finite.sum()
+
+        label = trace.key if trace.meta.get("task_key") else f"trace{t_idx}"
+        per_trace[label] = {
+            "method": trace.meta.get("method", ""),
+            "seed": trace.meta.get("seed"),
+            "n_decisions": trace.n_decisions,
+            "agreement": {
+                name: float(trace_matches[t_idx, j] / max(trace.n_decisions, 1))
+                for j, name in enumerate(names)
+            },
+        }
+
+    rank_corr = np.divide(
+        rank_sums, rank_ns, out=np.full((n_pol, n_pol), np.nan), where=rank_ns > 0
+    )
+    np.fill_diagonal(rank_corr, 1.0)
+
+    # -- bootstrap units: seeds > traces > decisions ----------------------
+    seeds = [t.meta.get("seed") for t in traces]
+    groups: dict = {}
+    for idx, seed in enumerate(seeds):
+        groups.setdefault(seed, []).append(idx)
+    if len(groups) > 1:
+        unit = "seed"
+        unit_values = np.vstack(
+            [
+                trace_matches[idxs].sum(axis=0) / trace_sizes[idxs].sum()
+                for idxs in groups.values()
+            ]
+        )
+    elif len(traces) > 1:
+        unit = "trace"
+        unit_values = trace_matches / trace_sizes[:, None]
+    else:
+        unit = "decision"
+        unit_values = decision_matches[0]
+
+    mean_diff, ci_lo, ci_hi = paired_bootstrap(
+        unit_values, n_bootstrap=n_bootstrap, seed=bootstrap_seed
+    )
+
+    return ComparisonReport(
+        policies=names,
+        n_traces=len(traces),
+        n_decisions=int(total),
+        agreement={
+            name: float(match_counts[j] / max(total, 1))
+            for j, name in enumerate(names)
+        },
+        pairwise_agreement=pair_counts / max(total, 1),
+        rank_correlation=rank_corr,
+        regret=np.divide(
+            regret_sums,
+            regret_ns,
+            out=np.full((n_pol, n_pol), np.nan),
+            where=regret_ns > 0,
+        ),
+        mean_diff=mean_diff,
+        ci_lo=ci_lo,
+        ci_hi=ci_hi,
+        wins=win_loss(unit_values),
+        unit=unit,
+        n_units=int(unit_values.shape[0]),
+        n_bootstrap=n_bootstrap,
+        bootstrap_seed=bootstrap_seed,
+        per_trace=per_trace,
+    )

@@ -66,12 +66,13 @@ _SEMANTIC_FIELDS = ("method", "workloads", "seed", "config", "train", "case_stud
 
 def task_key(task: "ExperimentTask") -> str:
     """Stable hex digest identifying a task's semantic configuration."""
-    payload = canonical_json(
-        {
-            "schema": TASK_SCHEMA_VERSION,
-            "task": {f: getattr(task, f) for f in _SEMANTIC_FIELDS},
-        }
-    )
+    fields = {f: getattr(task, f) for f in _SEMANTIC_FIELDS}
+    if task.capture_traces:
+        # Included only when set, so pre-existing keys (and cached
+        # results) of untraced tasks stay valid; a traced task is a
+        # distinct artifact — result *plus* decision traces.
+        fields["capture_traces"] = True
+    payload = canonical_json({"schema": TASK_SCHEMA_VERSION, "task": fields})
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
@@ -115,6 +116,10 @@ class ExperimentTask:
     case_study: bool = False
     extra: tuple[tuple[str, object], ...] = ()
     label: str = ""
+    #: record every scheduling decision of the evaluation replays into
+    #: the runner's :class:`~repro.eval.trace.TraceStore` (offline
+    #: policy evaluation); part of the task key when set.
+    capture_traces: bool = False
 
     @property
     def display_name(self) -> str:
@@ -139,6 +144,9 @@ class TaskResult:
     #: "checkpoint" (restored while resuming an interrupted grid)
     source: str = "run"
     label: str = ""
+    #: store keys of the decision traces recorded alongside this result
+    #: (one per workload when the task captured traces)
+    trace_keys: tuple[str, ...] = ()
 
     @property
     def display_name(self) -> str:
@@ -158,6 +166,7 @@ class TaskResult:
             "worker_pid": self.worker_pid,
             "source": self.source,
             "label": self.label,
+            "trace_keys": list(self.trace_keys),
         }
 
     @classmethod
@@ -174,4 +183,5 @@ class TaskResult:
             worker_pid=int(data.get("worker_pid", 0)),
             source=data.get("source", "run"),
             label=data.get("label", ""),
+            trace_keys=tuple(data.get("trace_keys", ())),
         )

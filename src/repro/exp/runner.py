@@ -64,6 +64,7 @@ def grid_tasks(
     n_seeds: int = 1,
     train: bool = False,
     case_study: bool = False,
+    capture_traces: bool = False,
 ) -> list[ExperimentTask]:
     """Build the (method × seed) cells of a grid, workloads rolled in.
 
@@ -90,6 +91,7 @@ def grid_tasks(
             config=config,
             train=train,
             case_study=case_study,
+            capture_traces=capture_traces,
         )
         for seed in seeds
         for method in methods
@@ -137,6 +139,12 @@ class ExperimentRunner:
     mp_start_method:
         Process start method; default "fork" where available (cheap,
         inherits the warm interpreter) and "spawn" elsewhere.
+    trace_dir:
+        Decision-trace store for tasks with ``capture_traces``. Traces
+        participate in both recall layers: a cached or checkpointed
+        result of a trace-capturing task is only honoured when every
+        trace it recorded still exists in this store — otherwise the
+        cell re-executes and re-records.
     """
 
     def __init__(
@@ -145,6 +153,7 @@ class ExperimentRunner:
         cache_dir: str | os.PathLike | None = None,
         checkpoint_path: str | os.PathLike | None = None,
         mp_start_method: str | None = None,
+        trace_dir: str | os.PathLike | None = None,
     ) -> None:
         if n_workers is None:
             n_workers = os.cpu_count() or 1
@@ -153,6 +162,7 @@ class ExperimentRunner:
         self.n_workers = n_workers
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         if mp_start_method is None:
             mp_start_method = (
                 "fork" if sys.platform.startswith("linux") else "spawn"
@@ -207,14 +217,24 @@ class ExperimentRunner:
         """Execute ``tasks``; returns results aligned with input order."""
         keys = [task.key() for task in tasks]
         key_set = set(keys)
+        tasks_by_key = dict(zip(keys, tasks))
+        if self.trace_dir is None and any(t.capture_traces for t in tasks):
+            raise ValueError(
+                "grid contains trace-capturing tasks but the runner has no "
+                "trace_dir; pass ExperimentRunner(trace_dir=...)"
+            )
         journaled = self._load_checkpoint()
         self._journaled_keys = set(journaled)
-        resolved = {k: v for k, v in journaled.items() if k in key_set}
+        resolved = {
+            k: v
+            for k, v in journaled.items()
+            if k in key_set and self._traces_ok(tasks_by_key[k], v)
+        }
         if self.cache is not None:
             for key in keys:
                 if key not in resolved:
                     hit = self.cache.get(key)
-                    if hit is not None:
+                    if hit is not None and self._traces_ok(tasks_by_key[key], hit):
                         self._record(resolved, hit)
 
         pending: dict[str, ExperimentTask] = {}
@@ -223,11 +243,12 @@ class ExperimentRunner:
                 pending[key] = task
 
         if pending:
+            trace_dir = str(self.trace_dir) if self.trace_dir is not None else None
             if self.n_workers == 1 or len(pending) == 1:
                 for key, task in pending.items():
-                    self._record(resolved, execute_task(task))
+                    self._record(resolved, execute_task(task, trace_dir))
             else:
-                self._run_pool(pending, resolved)
+                self._run_pool(pending, resolved, trace_dir)
 
         # Backfill checkpoint-restored cells into the cache so the two
         # recall layers stay symmetric: every resolved cell ends up in
@@ -255,13 +276,30 @@ class ExperimentRunner:
         if self.cache is not None and result.source == "run":
             self.cache.put(result)
 
+    def _traces_ok(self, task: ExperimentTask, result: TaskResult) -> bool:
+        """Whether a recalled result's trace artifacts are all present."""
+        if not task.capture_traces:
+            return True
+        if self.trace_dir is None or len(result.trace_keys) < len(task.workloads):
+            return False
+        from repro.eval.trace import TraceStore
+
+        store = TraceStore(self.trace_dir)
+        return all(store.has(key) for key in result.trace_keys)
+
     def _run_pool(
-        self, pending: dict[str, ExperimentTask], resolved: dict[str, TaskResult]
+        self,
+        pending: dict[str, ExperimentTask],
+        resolved: dict[str, TaskResult],
+        trace_dir: str | None = None,
     ) -> None:
         context = multiprocessing.get_context(self.mp_start_method)
         workers = min(self.n_workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = {pool.submit(execute_task, task) for task in pending.values()}
+            futures = {
+                pool.submit(execute_task, task, trace_dir)
+                for task in pending.values()
+            }
             # Drain as results land so the checkpoint journal always
             # reflects real progress, even if a later cell crashes.
             while futures:
@@ -280,6 +318,7 @@ class ExperimentRunner:
         n_seeds: int = 1,
         train: bool = False,
         case_study: bool = False,
+        capture_traces: bool = False,
     ) -> list[TaskResult]:
         """Build and run a (method × workloads × seed) grid."""
         return self.run(
@@ -291,5 +330,6 @@ class ExperimentRunner:
                 n_seeds=n_seeds,
                 train=train,
                 case_study=case_study,
+                capture_traces=capture_traces,
             )
         )

@@ -7,11 +7,20 @@ rather than by careful bookkeeping. It is a pure function of the task:
 every RNG stream inside derives from ``task.seed`` (via the library's
 ``SeedSequence``-based spawning), so re-running a task anywhere, in any
 order, on any worker reproduces bit-identical metric values.
+
+Tasks with ``capture_traces`` additionally record every scheduling
+decision of the evaluation replays into the
+:class:`~repro.eval.trace.TraceStore` at ``trace_dir`` (recording is
+passive — it consumes no RNG, so metrics stay bit-identical to an
+unrecorded run); the resulting store keys travel on the
+:class:`TaskResult` so the cache and checkpoint layers can verify the
+trace artifacts exist before recalling a result.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 
 from repro.exp.records import ExperimentTask, TaskResult
@@ -19,7 +28,9 @@ from repro.exp.records import ExperimentTask, TaskResult
 __all__ = ["execute_task"]
 
 
-def execute_task(task: ExperimentTask) -> TaskResult:
+def execute_task(
+    task: ExperimentTask, trace_dir: "str | os.PathLike | None" = None
+) -> TaskResult:
     """Run one grid cell: build, (optionally) train, evaluate in order.
 
     Mirrors the serial harness flow exactly — one scheduler instance is
@@ -47,20 +58,50 @@ def execute_task(task: ExperimentTask) -> TaskResult:
     if task.train:
         train_method(sched, eval_system, config)
 
+    recorder = store = None
+    if task.capture_traces:
+        if trace_dir is None:
+            raise ValueError(
+                f"task {task.key()} captures traces but no trace_dir was given"
+            )
+        from repro.eval.recorder import DecisionTraceRecorder
+        from repro.eval.trace import TraceStore
+
+        store = TraceStore(trace_dir)
+        recorder = DecisionTraceRecorder()
+        # Attached after training so the curriculum episodes (ε-greedy,
+        # exploration-heavy) never pollute the evaluation traces.
+        sched.decision_recorder = recorder
+
+    task_key = task.key()
+    trace_keys: list[str] = []
     metrics = {}
     for workload in task.workloads:
         if task.case_study:
             jobs, _ = build_case_study_workload(workload, base, system, seed=config.seed)
         else:
             jobs = build_workload(workload, base, eval_system, seed=config.seed)
+        if recorder is not None:
+            recorder.start(
+                method=task.method,
+                workload=workload,
+                seed=task.seed,
+                task_key=task_key,
+            )
         metrics[workload] = Simulator(eval_system, sched).run(jobs).metrics
+        if recorder is not None and store is not None:
+            trace_keys.append(store.put(recorder.finish()))
+
+    if recorder is not None:
+        sched.decision_recorder = None
 
     return TaskResult(
-        key=task.key(),
+        key=task_key,
         method=task.method,
         seed=task.seed,
         workloads=task.workloads,
         metrics=metrics,
         wall_time=time.perf_counter() - t0,
         label=task.label,
+        trace_keys=tuple(trace_keys),
     )

@@ -20,12 +20,12 @@ import numpy as np
 
 from repro.api.registry import paper_workloads
 from repro.core.mrsch import MRSchScheduler
+from repro.api.facade import compare
 from repro.experiments.harness import (
     PAPER_METHODS,
     ExperimentConfig,
     make_method,
     prepare_base_trace,
-    run_comparison,
     run_single,
     train_method,
 )
@@ -145,7 +145,7 @@ def fig5_fig6_comparison(
     n_workers: int = 1,
 ) -> dict:
     """System-level (Fig 5) and user-level (Fig 6) comparison grids."""
-    reports = run_comparison(
+    reports = compare(
         list(workloads), list(methods), config, runner=runner, n_workers=n_workers
     )
     tables = _metric_rows(reports, list(methods))
@@ -174,7 +174,7 @@ def fig7_kiviat(
 ) -> dict:
     """Normalized radar axes per workload; reuses Fig 5/6 runs if given."""
     if reports is None:
-        reports = run_comparison(
+        reports = compare(
             list(workloads), config=config, runner=runner, n_workers=n_workers
         )
     charts = {w: kiviat_normalize(rs) for w, rs in reports.items()}
@@ -278,7 +278,7 @@ def fig10_three_resources(
     n_workers: int = 1,
 ) -> dict:
     """§V-E: CPU + burst buffer + power, workloads S6–S10."""
-    reports = run_comparison(
+    reports = compare(
         list(workloads),
         list(methods),
         config,

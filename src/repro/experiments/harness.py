@@ -227,6 +227,14 @@ def run_comparison(
     engine. Pass ``runner`` (or ``n_workers``) to fan methods out over
     processes; results are bit-identical at any worker count.
     """
+    import warnings
+
+    warnings.warn(
+        "repro.experiments.harness.run_comparison is deprecated; use "
+        "repro.api.compare (identical grid, identical results)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.api.facade import compare
 
     return compare(

@@ -10,6 +10,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 from repro.cluster.resources import SystemConfig
 from repro.sched.base import Scheduler
 
@@ -21,6 +23,12 @@ def available_schedulers() -> tuple[str, ...]:
 
     Deprecated shim — equivalent to :func:`repro.api.list_schedulers`.
     """
+    warnings.warn(
+        "repro.sched.registry.available_schedulers is deprecated; use "
+        "repro.api.list_schedulers",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.api.registry import SCHEDULERS
 
     return SCHEDULERS.names()
@@ -44,6 +52,12 @@ def make_scheduler(
     Deprecated shim — equivalent to
     ``repro.api.SCHEDULERS.get(name).build(...)``.
     """
+    warnings.warn(
+        "repro.sched.registry.make_scheduler is deprecated; use "
+        "repro.api.SCHEDULERS.get(name).build(...) or the scenario API",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.api.registry import SCHEDULERS
 
     return SCHEDULERS.get(name).build(

@@ -59,14 +59,21 @@ class TimelineRecorder:
         return times[mask], values[mask]
 
     def time_weighted_mean_utilization(self) -> np.ndarray:
-        """Exact time-weighted mean of the utilization step function."""
+        """Exact time-weighted mean of the utilization step function.
+
+        Degenerate series are handled explicitly: no samples yields an
+        empty vector, a single sample (or all samples at one instant —
+        zero span, e.g. every event at t=0) has no elapsed time to
+        weight by, so the plain sample mean is returned. The result is
+        always a fresh array — mutating it cannot corrupt the recording.
+        """
         times, values = self.utilization_series
         if times.size == 0:
             return np.zeros(0)
         if times.size == 1:
-            return values[0]
-        dt = np.diff(times)
+            return values[0].copy()
         span = times[-1] - times[0]
         if span <= 0:
             return values.mean(axis=0)
+        dt = np.diff(times)
         return (values[:-1] * dt[:, None]).sum(axis=0) / span

@@ -1,0 +1,343 @@
+"""End-to-end tests for the decision-trace + offline-evaluation subsystem.
+
+Covers the acceptance contract of the subsystem:
+
+* recording is passive — a recorded replay yields bit-identical metrics;
+* **self-replay fidelity** — replaying a trace through the DFP policy
+  that produced it reproduces the logged action choices exactly, with
+  scores matching within the documented ~1e-15 re-association tolerance
+  of the batched-vs-folded scoring paths;
+* scenario plumbing — the ``evaluation`` block records traces through
+  the runner (cache/checkpoint participation included) and attaches the
+  offline comparison to the result;
+* the ``repro eval`` CLI compares ≥ 2 policies on a shared trace set.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.cli import main
+from repro.api.facade import run_scenario
+from repro.eval.evaluator import evaluate_traces, policy_choices
+from repro.eval.policies import DFPReplayPolicy
+from repro.eval.recorder import DecisionTraceRecorder
+from repro.eval.trace import TraceStore
+from repro.experiments.harness import ExperimentConfig, make_method, prepare_base_trace
+from repro.sim.simulator import Simulator
+from repro.workload.suites import build_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(nodes=32, bb_units=16, n_jobs=40, window_size=5, seed=11)
+
+
+@pytest.fixture(scope="module")
+def recorded_mrsch(tiny_config):
+    """One untrained-mrsch replay with its trace and scheduler."""
+    system = tiny_config.system()
+    base = prepare_base_trace(tiny_config)
+    jobs = build_workload("S3", base, system, seed=tiny_config.seed)
+    sched = make_method("mrsch", system, tiny_config)
+    recorder = DecisionTraceRecorder()
+    recorder.start(method="mrsch", workload="S3", seed=11, task_key="fidelity")
+    sched.decision_recorder = recorder
+    result = Simulator(system, sched).run(jobs)
+    return result, recorder.finish(), sched, (system, jobs)
+
+
+class TestRecorder:
+    def test_recording_is_passive(self, tiny_config, recorded_mrsch):
+        """Attached recorder must not change a single metric value."""
+        result, _, _, (system, jobs) = recorded_mrsch
+        bare = Simulator(
+            system, make_method("mrsch", system, tiny_config)
+        ).run(jobs)
+        assert bare.metrics.full_dict() == result.metrics.full_dict()
+
+    def test_trace_contents(self, recorded_mrsch, tiny_config):
+        _, trace, _, _ = recorded_mrsch
+        assert trace.n_decisions > 0
+        assert trace.window_size == tiny_config.window_size
+        assert trace.meta["method"] == "mrsch"
+        assert trace.meta["prior_weight"] == 2.0
+        # Every decision's chosen slot is valid and carries a real job.
+        rows = np.arange(trace.n_decisions)
+        assert trace.masks[rows, trace.actions].all()
+        assert (trace.job_ids[rows, trace.actions] >= 0).all()
+        # Guided greedy decisions logged their live combined scores.
+        assert np.isfinite(trace.scores[rows, trace.actions]).all()
+
+    def test_exploration_steps_still_record_the_prior(self, tiny_config):
+        """ε-greedy decisions skip the guided computation, but the trace
+        must carry the prior that governs the policy's greedy rule —
+        replay would otherwise score those rows with a zero prior."""
+        system = tiny_config.system()
+        base = prepare_base_trace(tiny_config)
+        jobs = build_workload("S3", base, system, seed=tiny_config.seed)
+        sched = make_method("mrsch", system, tiny_config)
+        sched.training = True
+        sched.agent.epsilon = 1.0  # force exploration on (almost) every step
+        sched.start_episode()
+        recorder = DecisionTraceRecorder()
+        recorder.start(method="mrsch", workload="S3", seed=11, task_key="explore")
+        sched.decision_recorder = recorder
+        Simulator(system, sched).run(jobs)
+        trace = recorder.finish()
+        # Every decision row carries a non-trivial prior over its valid
+        # slots (1.5 − demand for fitting jobs never rounds to zero),
+        # and exploration steps expose no scores.
+        rows = np.arange(trace.n_decisions)
+        assert (trace.priors[rows, trace.actions] != 0.0).any()
+        assert not (trace.priors[trace.masks] == 0.0).all()
+
+    def test_generic_scheduler_records_canonical_features(self, tiny_config):
+        system = tiny_config.system()
+        base = prepare_base_trace(tiny_config)
+        jobs = build_workload("S1", base, system, seed=tiny_config.seed)
+        sched = make_method("heuristic", system, tiny_config)
+        recorder = DecisionTraceRecorder()
+        recorder.start(method="heuristic", workload="S1", seed=11, task_key="h")
+        sched.decision_recorder = recorder
+        Simulator(system, sched).run(jobs)
+        trace = recorder.finish()
+        assert trace.n_decisions > 0
+        # Goals are Eq.-1 simplex points, priors zero, scores absent.
+        np.testing.assert_allclose(trace.goals.sum(axis=1), 1.0)
+        assert (trace.priors == 0).all()
+        assert np.isnan(trace.scores).all()
+        # FCFS never skips the head of the window.
+        assert (trace.actions == 0).all()
+
+
+class TestSelfReplayFidelity:
+    def test_dfp_replay_reproduces_logged_choices_exactly(self, recorded_mrsch):
+        _, trace, sched, _ = recorded_mrsch
+        policy = DFPReplayPolicy.from_scheduler(sched)
+        scores = policy(trace)
+        np.testing.assert_array_equal(
+            policy_choices(trace, scores), trace.actions
+        )
+
+    def test_dfp_replay_scores_within_reassociation_tolerance(self, recorded_mrsch):
+        """Batched forward vs live folded scoring: ~1e-15 relative."""
+        _, trace, sched, _ = recorded_mrsch
+        scores = DFPReplayPolicy.from_scheduler(sched)(trace)
+        logged = trace.scores
+        finite = np.isfinite(logged) & trace.masks
+        assert finite.any()
+        np.testing.assert_allclose(
+            scores[finite], logged[finite], rtol=0.0, atol=1e-9
+        )
+
+    def test_pure_dfp_path_also_replays(self, tiny_config):
+        """prior_weight=0 (the paper's pure policy) round-trips too."""
+        system = tiny_config.system()
+        base = prepare_base_trace(tiny_config)
+        jobs = build_workload("S2", base, system, seed=tiny_config.seed)
+        sched = make_method("mrsch", system, tiny_config, prior_weight=0.0)
+        recorder = DecisionTraceRecorder()
+        recorder.start(method="mrsch", workload="S2", seed=11, task_key="pure")
+        sched.decision_recorder = recorder
+        Simulator(system, sched).run(jobs)
+        trace = recorder.finish()
+        assert trace.meta["prior_weight"] == 0.0
+        policy = DFPReplayPolicy.from_scheduler(sched)
+        np.testing.assert_array_equal(
+            policy_choices(trace, policy(trace)), trace.actions
+        )
+
+    def test_checkpointed_agent_replays_identically(
+        self, recorded_mrsch, tmp_path
+    ):
+        _, trace, sched, _ = recorded_mrsch
+        path = str(tmp_path / "agent.npz")
+        sched.save(path)
+        policy = DFPReplayPolicy.from_checkpoint(path, trace)
+        np.testing.assert_array_equal(
+            policy_choices(trace, policy(trace)), trace.actions
+        )
+
+    def test_evaluator_scores_logged_policy_perfect(self, recorded_mrsch):
+        """`repro eval`-style comparison on a real trace: the recorded
+        policy (via its agent) and the logged one-hot agree 100%."""
+        from repro.eval.policies import fcfs_policy, logged_policy
+
+        _, trace, sched, _ = recorded_mrsch
+        report = evaluate_traces(
+            [trace],
+            {
+                "dfp": DFPReplayPolicy.from_scheduler(sched),
+                "logged": logged_policy,
+                "fcfs": fcfs_policy,
+            },
+            n_bootstrap=50,
+        )
+        assert report.agreement["dfp"] == 1.0
+        assert report.agreement["logged"] == 1.0
+
+
+class TestScenarioPlumbing:
+    SCENARIO = {
+        "name": "eval-wired",
+        "methods": ["heuristic", "mrsch"],
+        "workloads": ["S1"],
+        "system": {"name": "mini_theta", "nodes": 32, "bb_units": 16},
+        "seed": 3,
+        "train": False,
+        "config": {"n_jobs": 25, "window_size": 5},
+        "evaluation": {"policies": ["fcfs", "shortest_job"], "bootstrap": 100},
+    }
+
+    def test_run_scenario_records_and_evaluates(self, tmp_path):
+        result = run_scenario(self.SCENARIO, trace_dir=tmp_path / "traces")
+        store = TraceStore(tmp_path / "traces")
+        assert len(store) == 2  # one trace per (method, workload) cell
+        task_keys = {t.key() for t in result.tasks}
+        for r in result.results:
+            assert r.trace_keys and all(store.has(k) for k in r.trace_keys)
+            assert all(k.split("_")[0] in task_keys for k in r.trace_keys)
+        assert result.evaluation is not None
+        assert set(result.evaluation.agreement) == {"fcfs", "shortest_job"}
+        assert result.evaluation.n_traces == 2
+        assert "Agreement with logged actions" in result.summary()
+        payload = result.to_json_dict()
+        assert payload["trace_keys"] and "evaluation" in payload
+
+    def test_traces_participate_in_result_cache(self, tmp_path):
+        """A cached cell whose traces were deleted must re-execute."""
+        kwargs = dict(
+            trace_dir=tmp_path / "traces",
+            cache_dir=tmp_path / "cache",
+            checkpoint_path=None,
+        )
+        first = run_scenario(self.SCENARIO, **kwargs)
+        assert all(r.source == "run" for r in first.results)
+
+        second = run_scenario(self.SCENARIO, **kwargs)
+        assert all(r.source == "cache" for r in second.results)
+        assert second.reports == first.reports or all(
+            second.report("S1", m).full_dict() == first.report("S1", m).full_dict()
+            for m in ("heuristic", "mrsch")
+        )
+
+        # Deleting one trace invalidates exactly that cell's recall.
+        store = TraceStore(tmp_path / "traces")
+        victim = first.results[0].trace_keys[0]
+        (store.trace_dir / f"{victim}.npz").unlink()
+        third = run_scenario(self.SCENARIO, **kwargs)
+        sources = {r.key: r.source for r in third.results}
+        assert sources[first.results[0].key] == "run"
+        assert sources[first.results[1].key] == "cache"
+        assert store.has(victim)  # re-recorded
+
+    def test_capture_requires_trace_dir(self):
+        scenario = dict(self.SCENARIO)
+        with pytest.raises(ValueError, match="trace store location"):
+            run_scenario(scenario)
+
+    def test_explicit_runner_without_trace_store_fails_fast(self, tmp_path):
+        from repro.exp import ExperimentRunner
+
+        with pytest.raises(ValueError, match="explicit runner has no trace store"):
+            run_scenario(self.SCENARIO, runner=ExperimentRunner())
+
+        result = run_scenario(
+            self.SCENARIO,
+            runner=ExperimentRunner(trace_dir=tmp_path / "traces"),
+        )
+        assert result.evaluation is not None
+        assert len(TraceStore(tmp_path / "traces")) == 2
+
+    def test_untraced_scenarios_unaffected(self, tmp_path):
+        scenario = {k: v for k, v in self.SCENARIO.items() if k != "evaluation"}
+        result = run_scenario(scenario)
+        assert result.evaluation is None
+        assert result.trace_dir is None
+        assert all(r.trace_keys == () for r in result.results)
+
+    def test_trace_dir_without_evaluation_block_is_an_error(self, tmp_path):
+        """Asking for traces on a scenario that records none must not
+        silently succeed with an empty store."""
+        scenario = {k: v for k, v in self.SCENARIO.items() if k != "evaluation"}
+        with pytest.raises(ValueError, match="no 'evaluation' block"):
+            run_scenario(scenario, trace_dir=tmp_path / "traces")
+
+    def test_dfp_checkpoint_rejects_mixed_dimension_stores(self, tmp_path):
+        from repro.api.facade import evaluate_traces as facade_eval
+
+        trace_dir = tmp_path / "traces"
+        run_scenario(self.SCENARIO, trace_dir=trace_dir)
+        wide = dict(self.SCENARIO)
+        wide["config"] = {"n_jobs": 25, "window_size": 6}
+        run_scenario(wide, trace_dir=trace_dir)
+        system = TraceStore(trace_dir)
+        assert len(system) == 4
+
+        cfg = ExperimentConfig(nodes=32, bb_units=16, n_jobs=25,
+                               window_size=5, seed=3)
+        sched = make_method("mrsch", cfg.system(), cfg)
+        ckpt = str(tmp_path / "agent.npz")
+        sched.save(ckpt)
+        with pytest.raises(ValueError, match="mixes"):
+            facade_eval(trace_dir, ["fcfs"], dfp_checkpoint=ckpt)
+        # Restricting to a homogeneous subset works.
+        keys = [k for k in system.keys()
+                if system.get(*k.rsplit("_", 1)).window_size == 5]
+        report = facade_eval(trace_dir, ["fcfs"], keys=keys, dfp_checkpoint=ckpt)
+        assert "dfp" in report.agreement
+
+
+class TestCli:
+    def _record(self, tmp_path) -> str:
+        scenario_path = tmp_path / "scenario.json"
+        scenario_path.write_text(json.dumps(TestScenarioPlumbing.SCENARIO))
+        trace_dir = tmp_path / "traces"
+        assert main(
+            ["run", str(scenario_path), "--trace-dir", str(trace_dir)]
+        ) == 0
+        return str(trace_dir)
+
+    def test_eval_compares_policies_on_shared_traces(self, tmp_path, capsys):
+        trace_dir = self._record(tmp_path)
+        capsys.readouterr()
+        code = main(
+            ["eval", "--trace-dir", trace_dir,
+             "--policies", "fcfs", "shortest_job", "prior",
+             "--bootstrap", "50", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["agreement"]) == {"fcfs", "shortest_job", "prior"}
+        assert payload["n_traces"] == 2
+        assert payload["bootstrap"]["n_bootstrap"] == 50
+
+    def test_eval_text_output(self, tmp_path, capsys):
+        trace_dir = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["eval", "--trace-dir", trace_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Agreement with logged actions" in out
+        assert "Wins" in out
+
+    def test_eval_list_policies_needs_no_store(self, capsys):
+        assert main(["eval", "--list-policies"]) == 0
+        out = capsys.readouterr().out
+        assert "fcfs" in out and "shortest_job" in out
+
+    def test_eval_without_trace_dir_is_an_error(self, capsys):
+        assert main(["eval", "--policies", "fcfs", "prior"]) == 1
+        assert "--trace-dir" in capsys.readouterr().err
+
+    def test_eval_empty_store_is_an_error(self, tmp_path, capsys):
+        assert main(["eval", "--trace-dir", str(tmp_path / "empty")]) == 1
+        assert "no decision traces" in capsys.readouterr().err
+
+    def test_eval_requires_two_policies(self, tmp_path, capsys):
+        trace_dir = self._record(tmp_path)
+        assert main(["eval", "--trace-dir", trace_dir, "--policies", "fcfs"]) == 1
+        assert "at least two" in capsys.readouterr().err

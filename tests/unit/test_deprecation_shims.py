@@ -1,0 +1,65 @@
+"""The legacy entry points must warn *and* keep working unchanged."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.sched.registry import available_schedulers, make_scheduler
+
+
+@pytest.fixture
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(nodes=32, bb_units=16, n_jobs=20, window_size=5, seed=3)
+
+
+class TestMakeSchedulerShim:
+    def test_emits_deprecation_warning(self, mini_system):
+        with pytest.warns(DeprecationWarning, match="make_scheduler is deprecated"):
+            sched = make_scheduler("heuristic", mini_system)
+        assert sched.name == "fcfs"  # "heuristic" maps to FCFS list scheduling
+
+    def test_builds_identically_to_registry(self, mini_system):
+        from repro.api.registry import SCHEDULERS
+
+        with pytest.warns(DeprecationWarning):
+            shimmed = make_scheduler("heuristic", mini_system, window_size=7)
+        direct = SCHEDULERS.get("heuristic").build(mini_system, window_size=7)
+        assert type(shimmed) is type(direct)
+        assert shimmed.window_size == direct.window_size == 7
+
+    def test_available_schedulers_warns_and_matches_api(self):
+        from repro.api import list_schedulers
+
+        with pytest.warns(DeprecationWarning, match="available_schedulers"):
+            names = available_schedulers()
+        assert names == list_schedulers()
+
+
+class TestRunComparisonShim:
+    def test_warns_and_result_keys_unchanged(self, tiny_config):
+        """The shim must return the legacy ``{workload: {method: report}}``
+        shape with the caller's names, identical to ``api.compare``."""
+        from repro.api import compare
+
+        with pytest.warns(DeprecationWarning, match="run_comparison is deprecated"):
+            shimmed = run_comparison(
+                ["S1"], ["heuristic"], tiny_config, train=False
+            )
+        direct = compare(["S1"], ["heuristic"], tiny_config, train=False)
+        assert set(shimmed) == {"S1"}
+        assert set(shimmed["S1"]) == {"heuristic"}
+        assert (
+            shimmed["S1"]["heuristic"].full_dict()
+            == direct["S1"]["heuristic"].full_dict()
+        )
+
+    def test_internal_callers_do_not_warn(self, tiny_config):
+        """repro's own modules route through api.compare, not the shim."""
+        import warnings
+
+        from repro.api import compare
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            compare(["S1"], ["heuristic"], tiny_config, train=False)

@@ -26,6 +26,47 @@ def small_config(**overrides) -> DFPConfig:
     return DFPConfig(**defaults)
 
 
+class TestBatchedScores:
+    """Pins the batched replay path the offline evaluator relies on."""
+
+    @pytest.mark.parametrize("stream", ["shared", "dense"])
+    def test_action_scores_batch_matches_forward_scores(self, rng, stream):
+        """Batched scoring (full forward + per-row contraction) must
+        agree with the folded per-state fast path within float
+        re-association noise, even when every row carries a different
+        goal."""
+        agent = DFPAgent(small_config(action_stream=stream), rng=7)
+        n = 16
+        states = rng.normal(size=(n, 12))
+        measurements = rng.uniform(size=(n, 2))
+        goals = rng.uniform(0.1, 1.0, size=(n, 2))
+        goals /= goals.sum(axis=1, keepdims=True)
+
+        batched = agent.action_scores_batch(states, measurements, goals)
+        assert batched.shape == (n, 4)
+        for i in range(n):
+            per_state = agent.network.forward_scores(
+                states[i : i + 1],
+                measurements[i : i + 1],
+                goals[i : i + 1],
+                agent.objective_weights(goals[i]),
+            )[0]
+            np.testing.assert_allclose(
+                batched[i], per_state, rtol=0.0, atol=1e-12
+            )
+
+    def test_action_scores_batch_matches_action_scores(self, rng):
+        agent = DFPAgent(small_config(), rng=3)
+        states = rng.normal(size=(5, 12))
+        measurements = rng.uniform(size=(5, 2))
+        goal = np.array([0.3, 0.7])
+        goals = np.tile(goal, (5, 1))
+        batched = agent.action_scores_batch(states, measurements, goals)
+        for i in range(5):
+            single = agent.action_scores(states[i], measurements[i], goal)
+            np.testing.assert_allclose(batched[i], single, rtol=0.0, atol=1e-12)
+
+
 class TestConfig:
     def test_pred_dim(self):
         cfg = small_config()

@@ -1,0 +1,108 @@
+"""DecisionTrace persistence and the on-disk TraceStore."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval.trace import DecisionTrace, TraceStore, trace_key
+
+
+class TestDecisionTrace:
+    def test_shape_accessors(self, make_decision_trace):
+        trace = make_decision_trace(n=5, window=3)
+        assert trace.n_decisions == 5
+        assert trace.window_size == 3
+        assert trace.key == "testtask_S1"
+
+    def test_mismatched_lengths_rejected(self, make_decision_trace):
+        trace = make_decision_trace(n=4)
+        with pytest.raises(ValueError, match="disagree on decision count"):
+            DecisionTrace(
+                states=trace.states[:3],
+                measurements=trace.measurements,
+                goals=trace.goals,
+                masks=trace.masks,
+                priors=trace.priors,
+                scores=trace.scores,
+                actions=trace.actions,
+                times=trace.times,
+                job_ids=trace.job_ids,
+                job_features=trace.job_features,
+                meta=trace.meta,
+            )
+
+    def test_out_of_range_actions_rejected(self, make_decision_trace):
+        with pytest.raises(ValueError, match="out of window range"):
+            make_decision_trace(n=3, window=2, actions=[0, 1, 2])
+
+    def test_feature_lookup(self, make_decision_trace):
+        trace = make_decision_trace()
+        assert trace.feature("walltime").shape == trace.masks.shape
+        assert trace.feature_index("req_frac:node") == 0
+        with pytest.raises(KeyError, match="no job feature"):
+            trace.feature("nope")
+
+    def test_npz_roundtrip_is_lossless(self, tmp_path, make_decision_trace):
+        trace = make_decision_trace(n=7, window=5, seed=42)
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        back = DecisionTrace.load(path)
+        for name in DecisionTrace._ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(back, name), getattr(trace, name), err_msg=name
+            )
+        assert back.meta == trace.meta
+
+    def test_save_leaves_no_temp_files(self, tmp_path, make_decision_trace):
+        make_decision_trace().save(tmp_path / "t.npz")
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestTraceStore:
+    def test_put_get_roundtrip(self, tmp_path, make_decision_trace):
+        store = TraceStore(tmp_path)
+        trace = make_decision_trace()
+        key = store.put(trace)
+        assert key == trace_key("testtask", "S1")
+        assert key in store
+        loaded = store.get("testtask", "S1")
+        np.testing.assert_array_equal(loaded.actions, trace.actions)
+
+    def test_get_missing_returns_none(self, tmp_path):
+        assert TraceStore(tmp_path).get("nope", "S1") is None
+
+    def test_put_requires_identity_metadata(self, tmp_path, make_decision_trace):
+        trace = make_decision_trace(task_key="")
+        with pytest.raises(ValueError, match="task_key"):
+            TraceStore(tmp_path).put(trace)
+
+    def test_index_jsonl_appends_one_line_per_put(
+        self, tmp_path, make_decision_trace
+    ):
+        store = TraceStore(tmp_path)
+        store.put(make_decision_trace(task_key="a"))
+        store.put(make_decision_trace(task_key="b", n=3))
+        lines = [
+            json.loads(line)
+            for line in store.index_path.read_text().splitlines()
+        ]
+        assert [e["task_key"] for e in lines] == ["a", "b"]
+        assert lines[1]["n_decisions"] == 3
+        assert all(store.has(e["key"]) for e in lines)
+
+    def test_load_all_and_keys(self, tmp_path, make_decision_trace):
+        store = TraceStore(tmp_path)
+        store.put(make_decision_trace(task_key="a"))
+        store.put(make_decision_trace(task_key="b"))
+        assert store.keys() == ("a_S1", "b_S1")
+        assert len(store.load_all()) == 2
+        assert len(store) == 2
+
+    def test_load_all_missing_key_raises(self, tmp_path, make_decision_trace):
+        store = TraceStore(tmp_path)
+        store.put(make_decision_trace())
+        with pytest.raises(FileNotFoundError, match="missing"):
+            store.load_all(["testtask_S1", "ghost_S9"])

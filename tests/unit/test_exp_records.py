@@ -85,6 +85,12 @@ class TestTaskKey:
         assert make_task(label="MLP").key() == make_task().key()
         assert make_task(label="MLP").display_name == "MLP"
 
+    def test_capture_traces_changes_key_only_when_set(self):
+        """A traced cell is a distinct artifact (result + traces), but
+        the default leaves pre-existing untraced keys untouched."""
+        assert make_task(capture_traces=False).key() == make_task().key()
+        assert make_task(capture_traces=True).key() != make_task().key()
+
 
 class TestTaskResultJson:
     def test_roundtrip_is_lossless(self):
@@ -105,6 +111,23 @@ class TestTaskResultJson:
         assert back.display_name == "H"
         for w in result.workloads:
             assert back.metrics[w].full_dict() == result.metrics[w].full_dict()
+
+    def test_trace_keys_roundtrip_and_legacy_default(self):
+        result = TaskResult(
+            key="abc",
+            method="mrsch",
+            seed=7,
+            workloads=("S1",),
+            metrics={"S1": make_report()},
+            wall_time=0.5,
+            trace_keys=("abc_S1",),
+        )
+        back = TaskResult.from_json_dict(result.to_json_dict())
+        assert back.trace_keys == ("abc_S1",)
+        # Journals written before trace capture existed still load.
+        legacy = result.to_json_dict()
+        legacy.pop("trace_keys")
+        assert TaskResult.from_json_dict(legacy).trace_keys == ()
 
     def test_metric_report_full_dict_roundtrip(self):
         report = make_report()

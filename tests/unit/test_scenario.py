@@ -241,6 +241,55 @@ class TestValidation:
             )
 
 
+class TestEvaluationBlock:
+    def test_valid_block_accepted_and_enables_capture(self):
+        s = Scenario.from_dict(
+            tiny_dict(evaluation={"policies": ["fcfs", "shortest_job"],
+                                  "trace_dir": "traces", "bootstrap": 200,
+                                  "seed": 1})
+        )
+        tasks = s.compile()
+        assert all(t.capture_traces for t in tasks)
+
+    def test_absent_block_leaves_capture_off(self):
+        tasks = Scenario.from_dict(tiny_dict()).compile()
+        assert all(not t.capture_traces for t in tasks)
+
+    def test_unknown_evaluation_field(self):
+        with pytest.raises(ValueError, match="unknown evaluation field.*'polices'"):
+            Scenario.from_dict(tiny_dict(evaluation={"polices": ["fcfs"]}))
+
+    def test_unknown_policy_name(self):
+        with pytest.raises(ValueError, match="unknown eval policy 'slurm'"):
+            Scenario.from_dict(tiny_dict(evaluation={"policies": ["slurm"]}))
+
+    def test_empty_policies_rejected(self):
+        with pytest.raises(ValueError, match="non-empty list"):
+            Scenario.from_dict(tiny_dict(evaluation={"policies": []}))
+
+    def test_bad_bootstrap_rejected(self):
+        with pytest.raises(ValueError, match="bootstrap must be a positive int"):
+            Scenario.from_dict(
+                tiny_dict(evaluation={"policies": ["fcfs"], "bootstrap": 0})
+            )
+
+    def test_bad_trace_dir_rejected(self):
+        with pytest.raises(ValueError, match="trace_dir"):
+            Scenario.from_dict(
+                tiny_dict(evaluation={"policies": ["fcfs"], "trace_dir": ""})
+            )
+
+    def test_block_roundtrips_and_hashes(self):
+        data = tiny_dict(evaluation={"policies": ["fcfs", "prior"]})
+        s = Scenario.from_dict(data)
+        assert Scenario.from_dict(s.to_dict()) == s
+        assert s.config_hash() != Scenario.from_dict(tiny_dict()).config_hash()
+
+    def test_capture_only_block_without_policies(self):
+        s = Scenario.from_dict(tiny_dict(evaluation={"trace_dir": "traces"}))
+        assert all(t.capture_traces for t in s.compile())
+
+
 class TestSerialization:
     def test_round_trip(self):
         s = Scenario.from_dict(tiny_dict(goal=None or {}, replications=2))

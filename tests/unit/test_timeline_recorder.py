@@ -1,0 +1,89 @@
+"""TimelineRecorder edge cases: empty, single-sample and zero-span series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.recorder import TimelineRecorder
+
+
+class TestTimeWeightedMeanUtilization:
+    def test_empty_series_yields_empty_vector(self):
+        rec = TimelineRecorder()
+        assert rec.time_weighted_mean_utilization().shape == (0,)
+
+    def test_single_sample_returns_that_sample(self):
+        rec = TimelineRecorder()
+        rec.record_utilization(5.0, np.array([0.25, 0.75]))
+        np.testing.assert_allclose(
+            rec.time_weighted_mean_utilization(), [0.25, 0.75]
+        )
+
+    def test_single_sample_result_is_a_copy(self):
+        rec = TimelineRecorder()
+        rec.record_utilization(0.0, np.array([0.5, 0.5]))
+        out = rec.time_weighted_mean_utilization()
+        out[:] = 99.0
+        np.testing.assert_allclose(
+            rec.time_weighted_mean_utilization(), [0.5, 0.5]
+        )
+
+    def test_zero_span_falls_back_to_plain_mean(self):
+        """Several samples at one instant (all events at t=0) have no
+        elapsed time to weight by."""
+        rec = TimelineRecorder()
+        rec.record_utilization(0.0, np.array([0.0, 1.0]))
+        rec.record_utilization(0.0, np.array([1.0, 0.0]))
+        np.testing.assert_allclose(
+            rec.time_weighted_mean_utilization(), [0.5, 0.5]
+        )
+
+    def test_step_function_integral_is_exact(self):
+        """Values hold until the next sample; the last sample has no
+        duration — the defining property of the step-function integral."""
+        rec = TimelineRecorder()
+        rec.record_utilization(0.0, np.array([1.0]))
+        rec.record_utilization(3.0, np.array([0.0]))
+        rec.record_utilization(4.0, np.array([0.5]))
+        # 1.0 for 3s + 0.0 for 1s over a 4s span.
+        np.testing.assert_allclose(rec.time_weighted_mean_utilization(), [0.75])
+
+    def test_final_sample_value_does_not_leak_into_integral(self):
+        rec = TimelineRecorder()
+        rec.record_utilization(0.0, np.array([0.2]))
+        rec.record_utilization(10.0, np.array([123.0]))
+        np.testing.assert_allclose(rec.time_weighted_mean_utilization(), [0.2])
+
+
+class TestSeriesRetrieval:
+    def test_empty_series_shapes(self):
+        rec = TimelineRecorder()
+        times, values = rec.utilization_series
+        assert times.shape == (0,) and values.shape == (0, 0)
+        times, values = rec.goal_series
+        assert times.shape == (0,) and values.shape == (0, 0)
+
+    def test_goal_window_on_empty_series(self):
+        rec = TimelineRecorder()
+        times, values = rec.goal_window(0.0, 100.0)
+        assert times.size == 0 and values.size == 0
+
+    def test_goal_window_single_sample_inclusive_bounds(self):
+        rec = TimelineRecorder()
+        rec.record_goal(5.0, np.array([0.6, 0.4]))
+        times, values = rec.goal_window(5.0, 5.0)
+        assert times.tolist() == [5.0]
+        np.testing.assert_allclose(values, [[0.6, 0.4]])
+
+    def test_goal_window_rejects_inverted_range(self):
+        with pytest.raises(ValueError, match="t_end"):
+            TimelineRecorder().goal_window(10.0, 0.0)
+
+    def test_recorded_values_are_copied(self):
+        rec = TimelineRecorder()
+        sample = np.array([0.1, 0.9])
+        rec.record_utilization(0.0, sample)
+        sample[:] = -1.0
+        _, values = rec.utilization_series
+        np.testing.assert_allclose(values[0], [0.1, 0.9])
