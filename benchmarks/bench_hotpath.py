@@ -1,0 +1,36 @@
+"""Hot-path benchmark driver — the measured face of ``repro.perf``.
+
+A thin forwarding wrapper over ``repro bench`` so the suite has one
+implementation and two entry points::
+
+    python benchmarks/bench_hotpath.py                    # full scale
+    python benchmarks/bench_hotpath.py --scale smoke --check
+    repro bench --scale full --label pr4 --append
+
+The suite times a ≥20k-job saturated FCFS replay, one MRSch training
+episode, and pool-accounting / DFP-scoring micro-benchmarks; entries
+land in ``BENCH_hotpath.json`` (see the README "Performance" section
+for how to read the trajectory and what the regression guard enforces).
+
+Historical measurement: the portable file is
+``src/repro/perf/hotpath.py`` — *its* benchmarks only touch long-stable
+APIs, so copy that single module next to an older checkout and run it
+with the old checkout's ``src`` on ``PYTHONPATH`` to regenerate a
+baseline entry for a past commit (that is how the seed-commit point of
+the committed trajectory was produced). This wrapper itself needs the
+current checkout: it goes through ``repro.api.cli``/``repro.perf``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.api.cli import main as cli_main
+
+    return cli_main(["bench", *(sys.argv[1:] if argv is None else argv)])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,10 @@ Four subcommands, each a thin shell over :mod:`repro.api`:
     Replay recorded decision traces through offline policies and print
     the agreement / rank-correlation / regret comparison (record traces
     with ``repro run`` on a scenario that has an ``evaluation`` block).
+``repro bench --scale smoke --check``
+    Run the hot-path micro-benchmarks (``repro.perf``), print the
+    timing table, optionally append a ``BENCH_hotpath.json`` trajectory
+    entry and enforce the normalised regression guard.
 
 Exit codes: 0 on success, 1 on a validation/runtime error (with a
 single-line message on stderr), 2 on bad command-line usage (argparse).
@@ -77,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="decision-trace store for scenarios with an "
                             "'evaluation' block (overrides the scenario's "
                             "evaluation.trace_dir)")
+    p_run.add_argument("--compact-traces", action="store_true",
+                       help="store recorded decision traces as float32 "
+                            "(~half the bytes; storage fidelity only — "
+                            "equivalent to evaluation.compact_traces)")
     p_run.add_argument("--json", action="store_true", help="machine-readable output")
 
     p_cmp = sub.add_parser("compare", help="run an inline comparison grid")
@@ -122,6 +130,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--list-policies", action="store_true",
                         help="list registered offline policies and exit")
     p_eval.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the hot-path micro-benchmarks (repro.perf)",
+        description="Time the simulate→decide→replay hot path: a saturated "
+                    "FCFS replay, an MRSch training episode, and pool/DFP "
+                    "micro-benchmarks. Timings are normalised by an "
+                    "on-machine calibration loop; --append records a "
+                    "BENCH_hotpath.json trajectory entry, --check fails "
+                    "(exit 1) when the run regresses more than --threshold "
+                    "versus the last committed entry at the same scale.",
+    )
+    p_bench.add_argument("--scale", choices=("full", "smoke"), default="full",
+                         help="benchmark sizing (smoke: seconds, for CI)")
+    p_bench.add_argument("--label", default="local",
+                         help="trajectory label for this run")
+    p_bench.add_argument("--out", default=None, metavar="FILE",
+                         help="trajectory file (default: BENCH_hotpath.json "
+                              "at the repository root)")
+    p_bench.add_argument("--append", action="store_true",
+                         help="append this run to the trajectory file")
+    p_bench.add_argument("--check", action="store_true",
+                         help="fail if slower than the committed baseline")
+    p_bench.add_argument("--threshold", type=float, default=1.5,
+                         help="allowed normalised slowdown for --check")
+    p_bench.add_argument("--no-float32", action="store_true",
+                         help="skip the float32 scoring benchmark")
+    p_bench.add_argument("--json", action="store_true",
+                         help="machine-readable output")
 
     return parser
 
@@ -172,6 +209,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["seeds"] = None
     if args.train is not None:
         overrides["train"] = args.train
+    if args.compact_traces:
+        if not scenario.evaluation:
+            raise ValueError(
+                "--compact-traces requires a scenario with an 'evaluation' "
+                "block (nothing records traces otherwise)"
+            )
+        overrides["evaluation"] = {**scenario.evaluation, "compact_traces": True}
     if overrides:
         scenario = scenario.replace(**overrides)
 
@@ -269,11 +313,77 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        TRAJECTORY_PATH,
+        append_entry,
+        calibrate,
+        check_regression,
+        load_trajectory,
+        make_entry,
+        run_suite,
+    )
+    from repro.perf.trajectory import format_entry, latest_entry
+
+    path = args.out if args.out is not None else TRAJECTORY_PATH
+    calibration = calibrate()
+    results = run_suite(scale=args.scale, float32=not args.no_float32)
+    entry = make_entry(
+        args.label, results, calibration_s=calibration, scale=args.scale
+    )
+
+    failures: list[str] = []
+    baseline = None
+    if args.check:
+        # The baseline is resolved before any --append, so the current
+        # run can never be compared against itself — no label games.
+        baseline = latest_entry(load_trajectory(path), scale=args.scale)
+        if baseline is None:
+            raise ValueError(
+                f"--check needs a committed baseline entry at scale "
+                f"{args.scale!r} in {path}; record one with --append first"
+            )
+        failures = check_regression(entry, baseline, threshold=args.threshold)
+
+    appended = False
+    if args.append and not failures:
+        # Never record a run the guard rejected: it would become the
+        # newest same-scale entry and silently rebase later --check
+        # runs onto the regression.
+        append_entry(entry, path)
+        appended = True
+
+    if args.json:
+        print(json.dumps(
+            {"entry": entry,
+             "baseline": baseline,
+             "regressions": failures,
+             "trajectory_path": str(path)},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(format_entry(entry))
+        if appended:
+            print(f"\nappended to {path}")
+        elif args.append and failures:
+            print(f"\nNOT appended to {path}: the regression guard failed")
+        if baseline is not None and not failures:
+            print(f"\nregression guard OK vs {baseline.get('label', '?')} "
+                  f"({baseline.get('commit', '?')}, threshold "
+                  f"{args.threshold:.2f}x)")
+    if failures:
+        for failure in failures:
+            print(f"repro bench: REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "compare": _cmd_compare,
     "eval": _cmd_eval,
+    "bench": _cmd_bench,
 }
 
 

@@ -203,6 +203,11 @@ def run_scenario(
         cache_dir=cache_dir,
         checkpoint_path=checkpoint_path,
         trace_dir=trace_dir,
+        trace_compact=bool(
+            scenario.evaluation.get("compact_traces", False)
+            if scenario.evaluation
+            else False
+        ),
     )
     tasks = scenario.compile(config=config)
     results = runner.run(tasks)

@@ -71,7 +71,9 @@ _ALLOWED_KEYS = frozenset(
     }
 )
 _SYSTEM_KEYS = frozenset({"name", "nodes", "bb_units"})
-_EVALUATION_KEYS = frozenset({"policies", "trace_dir", "bootstrap", "seed"})
+_EVALUATION_KEYS = frozenset(
+    {"policies", "trace_dir", "bootstrap", "seed", "compact_traces"}
+)
 _CONFIG_KEYS = frozenset(
     {
         "n_jobs",
@@ -336,6 +338,11 @@ class Scenario:
                 eval_seed is None
                 or (isinstance(eval_seed, int) and not isinstance(eval_seed, bool)),
                 f"evaluation.seed must be an int, got {eval_seed!r}",
+            )
+            compact = self.evaluation.get("compact_traces")
+            _require(
+                compact is None or isinstance(compact, bool),
+                f"evaluation.compact_traces must be a bool, got {compact!r}",
             )
 
         _require(

@@ -156,6 +156,23 @@ class ResourcePool:
         self._caps_arr = np.array(
             [spec.units for spec in config.resources], dtype=float
         )
+        # The same counters as a config-ordered vector, for the
+        # vectorized backfill pass (read-only to callers).
+        self._free_arr = np.array(
+            [spec.units for spec in config.resources], dtype=float
+        )
+        self._name_pos: dict[str, int] = {
+            spec.name: i for i, spec in enumerate(config.resources)
+        }
+        # Lazily-maintained sorted estimated-free-time arrays of the
+        # *busy* units of each resource. earliest_fit_time/free_units_at
+        # are order-statistic queries; sorting once per pool mutation and
+        # answering each query with a searchsorted amortizes an EASY
+        # pass (shadow time + per-resource spare units) to O(log units)
+        # per query instead of a fresh O(units) partition each.
+        self._sorted_busy: dict[str, np.ndarray | None] = {
+            spec.name: None for spec in config.resources
+        }
         #: job_id -> {resource: unit index array}
         self._allocations: dict[int, dict[str, np.ndarray]] = {}
 
@@ -174,8 +191,7 @@ class ResourcePool:
 
     def utilizations(self) -> np.ndarray:
         """Instantaneous utilization of every resource, config order."""
-        free = np.array([self._free[n] for n in self._names], dtype=float)
-        return (self._caps_arr - free) / self._caps_arr
+        return (self._caps_arr - self._free_arr) / self._caps_arr
 
     def can_fit(self, job: Job) -> bool:
         """True when every requested resource has enough free units."""
@@ -185,6 +201,15 @@ class ResourcePool:
             for name, amount in job.requests.items()
             if amount > 0
         )
+
+    def free_vector(self) -> np.ndarray:
+        """Free-unit counts in config order.
+
+        A live internal array — callers must treat it as read-only; it
+        exists so the vectorized EASY pass can compare the whole queue's
+        request matrix against it without rebuilding a vector per start.
+        """
+        return self._free_arr
 
     def running_jobs(self) -> list[int]:
         return list(self._allocations)
@@ -213,6 +238,8 @@ class ResourcePool:
             self._busy[name][free_idx] = True
             self._est_free[name][free_idx] = est
             self._free[name] -= amount
+            self._free_arr[self._name_pos[name]] -= amount
+            self._sorted_busy[name] = None
             grant[name] = free_idx
         self._allocations[job.job_id] = grant
         job.allocation = {k: v.tolist() for k, v in grant.items()}
@@ -226,12 +253,16 @@ class ResourcePool:
             self._busy[name][idx] = False
             self._est_free[name][idx] = 0.0
             self._free[name] += idx.size
+            self._free_arr[self._name_pos[name]] += idx.size
+            self._sorted_busy[name] = None
 
     def reset(self) -> None:
         for name in self.config.names:
             self._busy[name][...] = False
             self._est_free[name][...] = 0.0
             self._free[name] = self._capacity[name]
+            self._free_arr[self._name_pos[name]] = self._capacity[name]
+            self._sorted_busy[name] = None
         self._allocations.clear()
 
     # -- scheduler support ---------------------------------------------------
@@ -247,6 +278,36 @@ class ResourcePool:
         ttf = np.where(busy, np.maximum(self._est_free[name] - now, 0.0), 0.0)
         return avail, ttf
 
+    def fill_unit_state(
+        self, name: str, now: float, avail_out: np.ndarray, ttf_out: np.ndarray
+    ) -> None:
+        """Write :meth:`unit_state` into caller-owned buffers.
+
+        The state encoder calls this once per resource per decision with
+        slices of the state vector, avoiding the intermediate
+        availability/time-to-free allocations. Free units carry
+        ``est_free == 0`` and the clock is non-negative, so the clamped
+        subtraction reproduces the reference values exactly.
+        """
+        np.subtract(1.0, self._busy[name], out=avail_out)
+        np.subtract(self._est_free[name], now, out=ttf_out)
+        np.maximum(ttf_out, 0.0, out=ttf_out)
+
+    def _sorted_busy_times(self, name: str) -> np.ndarray:
+        """Ascending estimated free times of the busy units of ``name``.
+
+        Cached and invalidated lazily: allocate/release/reset drop the
+        cache, the first order-statistic query after a mutation rebuilds
+        it, and every further query in the same pool state (the rest of
+        an EASY pass, repeated shadow computations for the same
+        reservation across instances) is a binary search.
+        """
+        cached = self._sorted_busy[name]
+        if cached is None:
+            cached = np.sort(self._est_free[name][self._busy[name]])
+            self._sorted_busy[name] = cached
+        return cached
+
     def earliest_fit_time(self, job: Job, now: float) -> float:
         """Estimated earliest time ``job``'s full request can be satisfied.
 
@@ -254,23 +315,39 @@ class ResourcePool:
         time over all units (free units count as available ``now``); the
         answer is the max over resources. Used for reservation shadow
         times in EASY backfilling.
+
+        The k-th smallest of {busy est-free times} ∪ {now × free units}
+        is read off the cached sorted busy array: with ``c`` busy times
+        strictly below ``now`` and ``F`` free units, the statistic is a
+        busy time when ``k ≤ c``, ``now`` while the free block covers
+        ``k``, and the ``(k−F)``-th busy time beyond it otherwise —
+        value-identical to partitioning the merged array.
         """
         t = now
         for name, amount in job.requests.items():
             if amount <= 0:
                 continue
-            busy = self._busy[name]
-            free_times = np.where(busy, self._est_free[name], now)
-            if amount > free_times.size:
+            if amount > self._capacity[name]:
                 raise ValueError(
                     f"job {job.job_id} requests more {name} than system capacity"
                 )
-            kth = np.partition(free_times, amount - 1)[amount - 1]
-            t = max(t, float(kth))
+            times = self._sorted_busy_times(name)
+            n_free = self._free[name]
+            below = int(np.searchsorted(times, now, side="left"))
+            at_or_below = int(np.searchsorted(times, now, side="right"))
+            if amount <= below:
+                kth = float(times[amount - 1])
+            elif amount <= at_or_below + n_free:
+                kth = now
+            else:
+                kth = float(times[amount - n_free - 1])
+            t = max(t, kth)
         return t
 
     def free_units_at(self, name: str, when: float, now: float) -> int:
         """Estimated number of free units of ``name`` at time ``when``."""
-        busy = self._busy[name]
-        free_times = np.where(busy, self._est_free[name], now)
-        return int((free_times <= when).sum())
+        busy_by_then = int(
+            np.searchsorted(self._sorted_busy_times(name), when, side="right")
+        )
+        free_now = self._free[name] if now <= when else 0
+        return free_now + busy_by_then

@@ -26,18 +26,17 @@ experience-replay buffer, with an ε-greedy behaviour policy.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.nn.layers import Dense, LeakyReLU
 from repro.nn.losses import mse_loss
-from repro.nn.network import Sequential
+from repro.nn.network import InferenceWorkspace, Sequential
 from repro.nn.optim import Adam
 from repro.utils.rng import as_generator, spawn_generators
 
-__all__ = ["DFPConfig", "DFPNetwork", "DFPAgent", "Experience"]
+__all__ = ["DFPConfig", "DFPNetwork", "DFPAgent", "Experience", "StratifiedReplay"]
 
 
 @dataclass(frozen=True)
@@ -156,6 +155,88 @@ class Experience:
     terminal: bool = False
 
 
+class StratifiedReplay:
+    """Bounded experience store with O(1)-indexable terminal strata.
+
+    The stratified minibatch draw needs the terminal and non-terminal
+    experiences as separately indexable sequences. Filtering the whole
+    buffer per minibatch — the previous implementation — is an
+    O(capacity) scan repeated ``train_batches_per_episode`` times per
+    episode (millions of touches at the default 20k capacity). This
+    store maintains the two strata incrementally instead: appends go to
+    the chronological list *and* their stratum, evictions at capacity
+    advance head cursors (the oldest element overall is by construction
+    the oldest of its stratum), and dead prefixes are compacted away
+    amortized O(1).
+
+    Iteration order, indexing and eviction order are exactly those of a
+    ``deque(maxlen=capacity)``, and the strata match what filtering that
+    deque would produce — the replay draw is bit-identical.
+    """
+
+    def __init__(self, maxlen: int) -> None:
+        if maxlen <= 0:
+            raise ValueError("replay capacity must be positive")
+        self.maxlen = maxlen
+        self._all: list[Experience] = []
+        self._term: list[Experience] = []
+        self._reg: list[Experience] = []
+        self._all_head = 0
+        self._term_head = 0
+        self._reg_head = 0
+
+    def __len__(self) -> int:
+        return len(self._all) - self._all_head
+
+    def __iter__(self):
+        return iter(self._all[self._all_head :])
+
+    def __getitem__(self, index: int) -> Experience:
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("replay index out of range")
+        return self._all[self._all_head + index]
+
+    @property
+    def n_terminal(self) -> int:
+        return len(self._term) - self._term_head
+
+    @property
+    def n_regular(self) -> int:
+        return len(self._reg) - self._reg_head
+
+    def terminal_at(self, index: int) -> Experience:
+        return self._term[self._term_head + index]
+
+    def regular_at(self, index: int) -> Experience:
+        return self._reg[self._reg_head + index]
+
+    def append(self, experience: Experience) -> None:
+        self._all.append(experience)
+        (self._term if experience.terminal else self._reg).append(experience)
+        if len(self) > self.maxlen:
+            oldest = self._all[self._all_head]
+            self._all_head += 1
+            if oldest.terminal:
+                self._term_head += 1
+            else:
+                self._reg_head += 1
+        self._compact()
+
+    def _compact(self) -> None:
+        for attr, head_attr in (
+            ("_all", "_all_head"),
+            ("_term", "_term_head"),
+            ("_reg", "_reg_head"),
+        ):
+            head = getattr(self, head_attr)
+            if head > 1024 and head * 2 > len(getattr(self, attr)):
+                setattr(self, attr, getattr(self, attr)[head:])
+                setattr(self, head_attr, 0)
+
+
 def _mlp(dims: list[int], rngs: list[np.random.Generator], final_activation: bool) -> Sequential:
     layers: list = []
     for i in range(len(dims) - 1):
@@ -215,6 +296,34 @@ class DFPNetwork:
                 [joint, c.stream_hidden, c.n_actions * c.pred_dim], rngs[9:11], False
             )
         self._joint_splits: tuple[int, int] = (state_out, state_out + c.module_out)
+        # Reused inference buffers: one workspace per entry shape class
+        # (per-decision scoring vs batched replay scoring), so the two
+        # paths do not thrash each other's buffers. Float64 by default —
+        # the workspace path is bit-identical to the allocating one;
+        # see :meth:`set_inference_dtype` for the reduced-precision mode.
+        self._score_ws = InferenceWorkspace()
+        self._batch_ws = InferenceWorkspace()
+
+    def set_inference_dtype(self, dtype: np.dtype | str | None) -> None:
+        """Choose the inference precision (training is unaffected).
+
+        ``float32`` halves the memory traffic of every scoring matmul;
+        scores then deviate from the float64 path by ~1e-6 relative —
+        far below any scheduling-relevant margin, but *opt-in* because
+        the default contract is bit-identical scoring. ``None`` restores
+        float64.
+        """
+        self._score_ws = InferenceWorkspace(dtype or np.float64)
+        self._batch_ws = InferenceWorkspace(dtype or np.float64)
+
+    @property
+    def inference_dtype(self) -> np.dtype:
+        return self._score_ws.dtype
+
+    def notify_params_changed(self) -> None:
+        """Invalidate cast-parameter caches after a weight update."""
+        self._score_ws.invalidate_params()
+        self._batch_ws.invalidate_params()
 
     @property
     def layers(self) -> list:
@@ -272,6 +381,40 @@ class DFPNetwork:
         normalised = actions - actions.mean(axis=1, keepdims=True)
         return expectation[:, None, :] + normalised
 
+    def _joint_into(
+        self,
+        ws: InferenceWorkspace,
+        state: np.ndarray,
+        measurement: np.ndarray,
+        goal: np.ndarray,
+    ) -> np.ndarray:
+        """Run the three input modules and pack them into the reused
+        joint-representation buffer (what ``np.concatenate`` built)."""
+        s = self.state_net.infer(state, ws, "state")
+        m = self.meas_net.infer(measurement, ws, "meas")
+        g = self.goal_net.infer(goal, ws, "goal")
+        joint = ws.buffer("joint", (state.shape[0], self._joint_dim))
+        i, j = self._joint_splits
+        joint[:, :i] = s
+        joint[:, i:j] = m
+        joint[:, j:] = g
+        return joint
+
+    def _shared_head_in(
+        self, ws: InferenceWorkspace, state: np.ndarray, joint: np.ndarray
+    ) -> np.ndarray:
+        """(B·A, joint ⊕ slot) input of the shared action head, packed
+        into a reused buffer instead of repeat+concatenate copies."""
+        c = self.config
+        batch = joint.shape[0]
+        width = self._joint_dim + c.slot_dim
+        head = ws.buffer("head_in", (batch, c.n_actions, width))
+        head[:, :, : self._joint_dim] = joint[:, None, :]
+        head[:, :, self._joint_dim :] = state[:, : c.n_actions * c.slot_dim].reshape(
+            batch, c.n_actions, c.slot_dim
+        )
+        return head.reshape(batch * c.n_actions, width)
+
     def forward_scores(
         self,
         state: np.ndarray,
@@ -290,49 +433,81 @@ class DFPNetwork:
         to a single vector product and never materialises the full
         (B, n_actions, pred_dim) prediction tensor. Numerically equal to
         ``forward(...) @ weights`` up to float re-association.
+
+        Every intermediate activation lives in the network's reused
+        inference workspace — the per-decision tile allocations of the
+        layer-by-layer path are gone, and the scheduler's once-per-
+        selection call runs allocation-free in steady state. The
+        returned array is freshly allocated and safe to keep.
         """
         c = self.config
-        s = self.state_net.forward(state)
-        m = self.meas_net.forward(measurement)
-        g = self.goal_net.forward(goal)
-        joint = np.concatenate([s, m, g], axis=1)
+        ws = self._score_ws
+        state = ws.cast("in_state", np.ascontiguousarray(state))
+        measurement = ws.cast("in_meas", np.ascontiguousarray(measurement))
+        goal = ws.cast("in_goal", np.ascontiguousarray(goal))
+        weights = ws.cast("in_weights", weights)
+        joint = self._joint_into(ws, state, measurement, goal)
         batch = joint.shape[0]
 
         exp_h = joint
-        for layer in self.expectation_stream.layers[:-1]:
-            exp_h = layer.forward(exp_h)
+        for li, layer in enumerate(self.expectation_stream.layers[:-1]):
+            exp_h = layer.infer(exp_h, ws, ("exp", li))
         exp_last = self.expectation_stream.layers[-1]
-        expectation = exp_h @ (exp_last.params["W"] @ weights) + (
-            exp_last.params["b"] @ weights
+        expectation = exp_h @ (ws.param(exp_last, "W") @ weights) + (
+            ws.param(exp_last, "b") @ weights
         )  # (B,)
 
         act_last = self.action_stream.layers[-1]
         if c.action_stream == "shared":
-            slots = state[:, : c.n_actions * c.slot_dim].reshape(
-                batch, c.n_actions, c.slot_dim
-            )
-            head_in = np.concatenate(
-                [np.repeat(joint[:, None, :], c.n_actions, axis=1), slots],
-                axis=2,
-            ).reshape(batch * c.n_actions, self._joint_dim + c.slot_dim)
-            act_h = head_in
-            for layer in self.action_stream.layers[:-1]:
-                act_h = layer.forward(act_h)
+            act_h = self._shared_head_in(ws, state, joint)
+            for li, layer in enumerate(self.action_stream.layers[:-1]):
+                act_h = layer.infer(act_h, ws, ("act", li))
             actions = (
-                act_h @ (act_last.params["W"] @ weights)
-                + act_last.params["b"] @ weights
+                act_h @ (ws.param(act_last, "W") @ weights)
+                + ws.param(act_last, "b") @ weights
             ).reshape(batch, c.n_actions)
         else:
             act_h = joint
-            for layer in self.action_stream.layers[:-1]:
-                act_h = layer.forward(act_h)
-            w_fold = act_last.params["W"].reshape(
+            for li, layer in enumerate(self.action_stream.layers[:-1]):
+                act_h = layer.infer(act_h, ws, ("act", li))
+            w_fold = ws.param(act_last, "W").reshape(
                 -1, c.n_actions, c.pred_dim
             ) @ weights  # (in_features, n_actions)
-            b_fold = act_last.params["b"].reshape(c.n_actions, c.pred_dim) @ weights
+            b_fold = ws.param(act_last, "b").reshape(c.n_actions, c.pred_dim) @ weights
             actions = act_h @ w_fold + b_fold
         actions = actions - actions.mean(axis=1, keepdims=True)
         return expectation[:, None] + actions
+
+    def forward_infer(
+        self,
+        state: np.ndarray,
+        measurement: np.ndarray,
+        goal: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`forward` for inference: same predictions (bit-identical
+        in float64), no gradient caches, intermediates in the batched
+        workspace. Used by replay-time batch scoring, where rows carry
+        different goals and the weight folding of
+        :meth:`forward_scores` does not apply.
+        """
+        c = self.config
+        ws = self._batch_ws
+        state = ws.cast("in_state", np.ascontiguousarray(state))
+        measurement = ws.cast("in_meas", np.ascontiguousarray(measurement))
+        goal = ws.cast("in_goal", np.ascontiguousarray(goal))
+        joint = self._joint_into(ws, state, measurement, goal)
+        batch = joint.shape[0]
+        expectation = self.expectation_stream.infer(joint, ws, "exp")
+        if c.action_stream == "shared":
+            head_in = self._shared_head_in(ws, state, joint)
+            actions = self.action_stream.infer(head_in, ws, "act").reshape(
+                batch, c.n_actions, c.pred_dim
+            )
+        else:
+            raw = self.action_stream.infer(joint, ws, "act")
+            actions = raw.reshape(batch, c.n_actions, c.pred_dim)
+        normalised = actions - actions.mean(axis=1, keepdims=True)
+        return expectation[:, None, :] + normalised
 
     def backward(self, grad_pred: np.ndarray) -> None:
         """Backpropagate d(loss)/d(prediction) through both streams."""
@@ -409,7 +584,7 @@ class DFPAgent:
             config, rng=net_rng, state_module=state_module, state_module_out=state_module_out
         )
         self.optimizer = Adam(self.network.layers, lr=config.lr)
-        self.replay: deque[Experience] = deque(maxlen=config.replay_capacity)
+        self.replay = StratifiedReplay(config.replay_capacity)
         self.epsilon = config.epsilon_start
         # Goal vectors are constant within a scheduling instance but the
         # agent scores once per selection — memoise the last flattening.
@@ -459,8 +634,8 @@ class DFPAgent:
         offline policy evaluation and replay scoring.
         """
         c = self.config
-        preds = self.network.forward(states, measurements, goals)  # (B, A, P)
-        w = np.asarray(c.temporal_weights)
+        preds = self.network.forward_infer(states, measurements, goals)  # (B, A, P)
+        w = np.asarray(c.temporal_weights, dtype=preds.dtype)
         weights = (w[None, :, None] * goals[:, None, :]).reshape(-1, c.pred_dim)
         return np.einsum("bap,bp->ba", preds, weights)
 
@@ -539,24 +714,25 @@ class DFPAgent:
     def _sample_batch(self, n: int) -> list[Experience]:
         """Stratified replay draw: half terminal, half non-terminal.
 
-        Falls back to uniform sampling when one class is absent.
+        Falls back to uniform sampling when one class is absent. The
+        strata are maintained incrementally by :class:`StratifiedReplay`
+        — same draws as filtering the buffer per batch, without the
+        O(capacity) scans.
         """
-        terminal = [e for e in self.replay if e.terminal]
-        regular = [e for e in self.replay if not e.terminal]
+        replay = self.replay
+        n_term, n_reg = replay.n_terminal, replay.n_regular
         rng = self._sample_rng
-        if not terminal or not regular:
-            idx = rng.choice(len(self.replay), size=n, replace=len(self.replay) < n)
-            return [self.replay[int(i)] for i in idx]
+        if not n_term or not n_reg:
+            idx = rng.choice(len(replay), size=n, replace=len(replay) < n)
+            return [replay[int(i)] for i in idx]
         half = n // 2
         picks = [
-            terminal[int(i)]
-            for i in rng.choice(len(terminal), size=half, replace=len(terminal) < half)
+            replay.terminal_at(int(i))
+            for i in rng.choice(n_term, size=half, replace=n_term < half)
         ]
         picks += [
-            regular[int(i)]
-            for i in rng.choice(
-                len(regular), size=n - half, replace=len(regular) < n - half
-            )
+            replay.regular_at(int(i))
+            for i in rng.choice(n_reg, size=n - half, replace=n_reg < n - half)
         ]
         return picks
 
@@ -584,6 +760,7 @@ class DFPAgent:
         self.network.backward(grad)
         self.optimizer.clip_gradients(c.grad_clip)
         self.optimizer.step()
+        self.network.notify_params_changed()
         return loss
 
     def train_epoch(self, n_batches: int | None = None) -> float:
@@ -605,3 +782,12 @@ class DFPAgent:
         if eps is not None:
             self.epsilon = float(np.asarray(eps).ravel()[0])
         self.network.load_state_dict(state)
+        self.network.notify_params_changed()
+
+    def set_inference_dtype(self, dtype: np.dtype | str | None) -> None:
+        """Opt-in reduced-precision scoring — see
+        :meth:`DFPNetwork.set_inference_dtype`. Training precision is
+        untouched; only ``action_scores``/``action_scores_batch`` (and
+        anything built on them) run in the requested dtype.
+        """
+        self.network.set_inference_dtype(dtype)

@@ -109,11 +109,16 @@ class StateEncoder:
                 )
 
         offset = per * self.window_size
-        for name in names:
-            avail, ttf = pool.unit_state(name, now)
-            n = avail.size
-            state[offset : offset + n] = avail
-            state[offset + n : offset + 2 * n] = self._squash(ttf)
+        for name, cap in zip(names, self._caps):
+            n = int(cap)
+            avail = state[offset : offset + n]
+            ttf = state[offset + n : offset + 2 * n]
+            # In-place fill + squash of the per-unit block — the per
+            # decision unit_state/clip temporaries this replaces were
+            # the encoder's main allocation cost.
+            pool.fill_unit_state(name, now, avail, ttf)
+            np.divide(ttf, self.time_scale, out=ttf)
+            np.clip(ttf, 0.0, self.time_clip, out=ttf)
             offset += 2 * n
         return state
 

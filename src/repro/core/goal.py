@@ -32,13 +32,26 @@ def contention_terms(
     system: SystemConfig,
     now: float,
 ) -> np.ndarray:
-    """Unnormalised per-resource drain times ``Σ_i P_ij · t_i``."""
+    """Unnormalised per-resource drain times ``Σ_i P_ij · t_i``.
+
+    When ``queued`` is the simulator's
+    :class:`~repro.sched.jobqueue.JobQueue` the queued-job sum is one
+    matrix-vector product over its columnar request/walltime arrays
+    (same terms, vector summation order) — this runs every scheduling
+    instance under dynamic prioritizing, so a Python loop over a deep
+    queue would dominate an MRSch replay.
+    """
+    from repro.sched.jobqueue import JobQueue  # late: avoids an import cycle
+
     names = system.names
     caps = np.array([system.capacity(n) for n in names], dtype=float)
-    totals = np.zeros(len(names))
-    for job in queued:
-        req = np.array([job.request(n) for n in names], dtype=float)
-        totals += (req / caps) * job.walltime
+    if isinstance(queued, JobQueue) and list(queued.names) == names:
+        totals = queued.contention_totals(caps)
+    else:
+        totals = np.zeros(len(names))
+        for job in queued:
+            req = np.array([job.request(n) for n in names], dtype=float)
+            totals += (req / caps) * job.walltime
     for job in running:
         if job.start_time is None:
             raise ValueError(f"running job {job.job_id} has no start time")

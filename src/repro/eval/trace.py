@@ -35,6 +35,18 @@ TRACE_SCHEMA_VERSION = 1
 #: per-slot candidate features appended after the R request fractions
 EXTRA_FEATURES = ("walltime", "queued", "fits")
 
+#: float arrays narrowed to float32 by compact storage. ``times`` stays
+#: float64 (the simulation clock spans months at second resolution —
+#: beyond float32's 24-bit mantissa); ids/masks/actions are not floats.
+_COMPACT_ARRAYS = (
+    "states",
+    "measurements",
+    "goals",
+    "priors",
+    "scores",
+    "job_features",
+)
+
 
 def trace_key(task_key: str, workload: str) -> str:
     """The store key of one (task, workload) trace."""
@@ -133,14 +145,28 @@ class DecisionTrace:
 
     # -- persistence -------------------------------------------------------
 
-    def save(self, path: str | os.PathLike) -> None:
-        """Write the trace as one compressed NPZ (atomic replace)."""
+    def save(self, path: str | os.PathLike, compact: bool = False) -> None:
+        """Write the trace as one compressed NPZ (atomic replace).
+
+        ``compact=True`` stores the float state/score/feature arrays as
+        float32 — roughly half the bytes of a paper-scale store — at the
+        cost of ~1e-7 relative rounding on replayed scores (decision
+        times keep full precision). :meth:`load` widens the arrays back
+        to float64, so downstream evaluation code sees one dtype either
+        way; ``meta["compact"]`` records which fidelity was stored.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {name: getattr(self, name) for name in self._ARRAYS}
-        payload["meta"] = np.array(
-            json.dumps({"schema": TRACE_SCHEMA_VERSION, **self.meta}, sort_keys=True)
-        )
+        if compact:
+            for name in _COMPACT_ARRAYS:
+                payload[name] = np.asarray(payload[name], dtype=np.float32)
+        meta = dict(self.meta)
+        # Authoritative per-save, overriding any stale flag a reloaded
+        # trace may carry in its metadata.
+        meta["schema"] = TRACE_SCHEMA_VERSION
+        meta["compact"] = bool(compact)
+        payload["meta"] = np.array(json.dumps(meta, sort_keys=True))
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -155,11 +181,17 @@ class DecisionTrace:
     def load(cls, path: str | os.PathLike) -> "DecisionTrace":
         with np.load(path, allow_pickle=False) as data:
             meta = json.loads(str(data["meta"]))
+            # Storage-level details, not trace semantics: drop them so a
+            # save → load → save round trip is fidelity-transparent.
             meta.pop("schema", None)
-            return cls(
-                **{name: data[name] for name in cls._ARRAYS},
-                meta=meta,
-            )
+            meta.pop("compact", None)
+            arrays = {name: data[name] for name in cls._ARRAYS}
+            for name in _COMPACT_ARRAYS:
+                # Compact stores come back widened so evaluation code
+                # handles exactly one dtype.
+                if arrays[name].dtype == np.float32:
+                    arrays[name] = arrays[name].astype(np.float64)
+            return cls(**arrays, meta=meta)
 
 
 class TraceStore:
@@ -175,11 +207,15 @@ class TraceStore:
     NPZ files themselves and are always exact.
     """
 
-    def __init__(self, trace_dir: str | os.PathLike) -> None:
+    def __init__(self, trace_dir: str | os.PathLike, compact: bool = False) -> None:
         # The directory is created lazily on the first put() so that
         # read-only use (lookups, `repro eval` on a mistyped path) never
         # litters the filesystem with empty stores.
         self.trace_dir = Path(trace_dir)
+        #: store new traces as float32 (see :meth:`DecisionTrace.save`);
+        #: reading is dtype-agnostic, so compact and full-precision
+        #: traces can share one directory.
+        self.compact = bool(compact)
 
     def _path(self, key: str) -> Path:
         return self.trace_dir / f"{key}.npz"
@@ -196,7 +232,7 @@ class TraceStore:
                 "trace metadata must carry 'task_key' and 'workload' to be stored"
             )
         self.trace_dir.mkdir(parents=True, exist_ok=True)
-        trace.save(self._path(key))
+        trace.save(self._path(key), compact=self.compact)
         entry = {
             "key": key,
             "task_key": trace.meta.get("task_key"),
@@ -219,6 +255,20 @@ class TraceStore:
 
     def has(self, key: str) -> bool:
         return self._path(key).exists()
+
+    def stored_compact(self, key: str) -> bool | None:
+        """Whether the persisted trace was saved compact (None = absent).
+
+        Reads only the NPZ's metadata member — cheap enough for the
+        experiment engine to verify storage *fidelity*, not just
+        existence, before honouring a cached result.
+        """
+        path = self._path(key)
+        if not path.exists():
+            return None
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+        return bool(meta.get("compact", False))
 
     def keys(self) -> tuple[str, ...]:
         """Store keys of every persisted trace, sorted."""

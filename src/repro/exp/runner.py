@@ -154,6 +154,7 @@ class ExperimentRunner:
         checkpoint_path: str | os.PathLike | None = None,
         mp_start_method: str | None = None,
         trace_dir: str | os.PathLike | None = None,
+        trace_compact: bool = False,
     ) -> None:
         if n_workers is None:
             n_workers = os.cpu_count() or 1
@@ -163,6 +164,9 @@ class ExperimentRunner:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        #: store recorded decision traces as float32 (storage fidelity
+        #: only — simulated decisions and metrics are unaffected)
+        self.trace_compact = bool(trace_compact)
         if mp_start_method is None:
             mp_start_method = (
                 "fork" if sys.platform.startswith("linux") else "spawn"
@@ -246,7 +250,9 @@ class ExperimentRunner:
             trace_dir = str(self.trace_dir) if self.trace_dir is not None else None
             if self.n_workers == 1 or len(pending) == 1:
                 for key, task in pending.items():
-                    self._record(resolved, execute_task(task, trace_dir))
+                    self._record(
+                        resolved, execute_task(task, trace_dir, self.trace_compact)
+                    )
             else:
                 self._run_pool(pending, resolved, trace_dir)
 
@@ -277,7 +283,13 @@ class ExperimentRunner:
             self.cache.put(result)
 
     def _traces_ok(self, task: ExperimentTask, result: TaskResult) -> bool:
-        """Whether a recalled result's trace artifacts are all present."""
+        """Whether a recalled result's trace artifacts are all usable.
+
+        Usable means present *and* stored at the fidelity this runner
+        was asked for — flipping ``trace_compact`` re-executes the cell
+        so the store actually changes width instead of silently keeping
+        the old files.
+        """
         if not task.capture_traces:
             return True
         if self.trace_dir is None or len(result.trace_keys) < len(task.workloads):
@@ -285,7 +297,10 @@ class ExperimentRunner:
         from repro.eval.trace import TraceStore
 
         store = TraceStore(self.trace_dir)
-        return all(store.has(key) for key in result.trace_keys)
+        return all(
+            store.stored_compact(key) == self.trace_compact
+            for key in result.trace_keys
+        )
 
     def _run_pool(
         self,
@@ -297,7 +312,7 @@ class ExperimentRunner:
         workers = min(self.n_workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
             futures = {
-                pool.submit(execute_task, task, trace_dir)
+                pool.submit(execute_task, task, trace_dir, self.trace_compact)
                 for task in pending.values()
             }
             # Drain as results land so the checkpoint journal always

@@ -29,7 +29,9 @@ __all__ = ["execute_task"]
 
 
 def execute_task(
-    task: ExperimentTask, trace_dir: "str | os.PathLike | None" = None
+    task: ExperimentTask,
+    trace_dir: "str | os.PathLike | None" = None,
+    trace_compact: bool = False,
 ) -> TaskResult:
     """Run one grid cell: build, (optionally) train, evaluate in order.
 
@@ -37,6 +39,10 @@ def execute_task(
     created with the cell seed, trained once if requested, then replayed
     over ``task.workloads`` in order, so stateful policies (the GA's RNG
     stream, a trained agent) see the same history as a serial sweep.
+
+    ``trace_compact`` stores recorded decision traces as float32 (see
+    :meth:`repro.eval.trace.DecisionTrace.save`); it affects storage
+    fidelity only, never the simulated decisions.
     """
     # Imported lazily: repro.experiments.harness imports the runner, and
     # worker processes should only pay for what the task touches.
@@ -67,7 +73,7 @@ def execute_task(
         from repro.eval.recorder import DecisionTraceRecorder
         from repro.eval.trace import TraceStore
 
-        store = TraceStore(trace_dir)
+        store = TraceStore(trace_dir, compact=trace_compact)
         recorder = DecisionTraceRecorder()
         # Attached after training so the curriculum episodes (ε-greedy,
         # exploration-heavy) never pollute the evaluation traces.

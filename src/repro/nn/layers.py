@@ -49,6 +49,18 @@ class Layer:
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def infer(self, x: np.ndarray, workspace=None, key=None) -> np.ndarray:
+        """Inference-only forward pass.
+
+        Unlike :meth:`forward` it neither caches activations for a
+        backward pass nor (for layers that override it) allocates fresh
+        output arrays: with an
+        :class:`~repro.nn.network.InferenceWorkspace` the output lands
+        in a reused per-``key`` buffer. Values are bit-identical to
+        :meth:`forward`. The default falls back to ``forward``.
+        """
+        return self.forward(x)
+
     def zero_grad(self) -> None:
         for key in self.grads:
             self.grads[key][...] = 0.0
@@ -95,6 +107,15 @@ class Dense(Layer):
         self.grads["W"] += self._x.T @ grad_out
         self.grads["b"] += grad_out.sum(axis=0)
         return grad_out @ self.params["W"].T
+
+    def infer(self, x: np.ndarray, workspace=None, key=None) -> np.ndarray:
+        if workspace is None:
+            return x @ self.params["W"] + self.params["b"]
+        w = workspace.param(self, "W")
+        out = workspace.buffer(key, (x.shape[0], self.out_features))
+        np.matmul(x, w, out=out)
+        out += workspace.param(self, "b")
+        return out
 
 
 class Conv1D(Layer):
@@ -287,6 +308,15 @@ class LeakyReLU(Layer):
         if self._mask is None:
             raise RuntimeError("backward called before forward")
         return grad_out * np.where(self._mask, 1.0, self.alpha)
+
+    def infer(self, x: np.ndarray, workspace=None, key=None) -> np.ndarray:
+        if workspace is None or self.alpha > 1.0:
+            # max(x, αx) only equals the leaky rectifier for α ≤ 1.
+            return np.where(x > 0, x, self.alpha * x)
+        out = workspace.buffer(key, x.shape)
+        np.multiply(x, self.alpha, out=out)
+        np.maximum(x, out, out=out)
+        return out
 
 
 class Tanh(Layer):

@@ -1,4 +1,5 @@
-"""Sequential container chaining layers into a network."""
+"""Sequential container chaining layers into a network, plus the
+reusable-buffer workspace the inference fast path runs on."""
 
 from __future__ import annotations
 
@@ -6,7 +7,61 @@ import numpy as np
 
 from repro.nn.layers import Layer
 
-__all__ = ["Sequential"]
+__all__ = ["Sequential", "InferenceWorkspace"]
+
+
+class InferenceWorkspace:
+    """Reused output buffers and dtype-cast parameters for inference.
+
+    The per-decision scoring path used to allocate every intermediate
+    activation afresh — tens of small arrays per scheduling decision.
+    A workspace hands each ``(chain, layer)`` key a persistent output
+    buffer instead, so steady-state inference performs zero activation
+    allocations. It also memoises parameters cast to the workspace
+    dtype, which is what makes the opt-in ``float32`` scoring mode
+    cheap: weights are cast once per training update, not per decision.
+
+    Buffers are recycled by key: the result a layer returns is only
+    valid until the same key is used again. Chains therefore give every
+    layer its own key, and public APIs copy anything they hand out.
+    """
+
+    def __init__(self, dtype: np.dtype | str = np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self._params: dict[tuple[int, str], np.ndarray] = {}
+
+    def buffer(self, key, shape: tuple[int, ...]) -> np.ndarray:
+        """A persistent ``shape``-sized scratch array for ``key``."""
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape, dtype=self.dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def param(self, layer: Layer, name: str) -> np.ndarray:
+        """``layer.params[name]``, cast to the workspace dtype (cached)."""
+        value = layer.params[name]
+        if value.dtype == self.dtype:
+            return value
+        key = (id(layer), name)
+        cached = self._params.get(key)
+        if cached is None:
+            cached = value.astype(self.dtype)
+            self._params[key] = cached
+        return cached
+
+    def cast(self, key, value: np.ndarray) -> np.ndarray:
+        """``value`` in the workspace dtype, via a reused buffer."""
+        if value.dtype == self.dtype:
+            return value
+        out = self.buffer(key, value.shape)
+        out[...] = value
+        return out
+
+    def invalidate_params(self) -> None:
+        """Drop cast-parameter caches (call after any weight update)."""
+        self._params.clear()
 
 
 class Sequential:
@@ -27,6 +82,19 @@ class Sequential:
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         for layer in self.layers:
             x = layer.forward(x, training=training)
+        return x
+
+    def infer(
+        self, x: np.ndarray, workspace: InferenceWorkspace | None = None, key: str = ""
+    ) -> np.ndarray:
+        """Inference-only forward pass (bit-identical values).
+
+        With a workspace, intermediate activations land in reused
+        buffers — the returned array is workspace-owned and valid only
+        until the next ``infer`` through the same keys.
+        """
+        for i, layer in enumerate(self.layers):
+            x = layer.infer(x, workspace, (key, i))
         return x
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -1,0 +1,49 @@
+"""Micro-benchmark subsystem for the simulate→decide→replay hot path.
+
+``repro.perf`` turns "the hot path got faster/slower" into a recorded,
+machine-readable fact:
+
+* :mod:`repro.perf.hotpath` — the benchmark suite itself: a large-trace
+  FCFS replay, an MRSch training episode, and pool-accounting / DFP
+  scoring micro-benchmarks, each returning a :class:`BenchResult`;
+* :mod:`repro.perf.trajectory` — the ``BENCH_hotpath.json`` trajectory
+  file: one entry per measured commit, with timings normalised by an
+  on-machine calibration loop so entries from different machines remain
+  comparable, plus the CI regression guard that fails when the current
+  run is >1.5× slower (normalised) than the last committed entry.
+
+Run it via ``repro bench`` or ``python benchmarks/bench_hotpath.py``;
+see the README "Performance" section.
+"""
+
+from repro.perf.hotpath import (
+    BenchResult,
+    bench_dfp_scoring,
+    bench_fcfs_replay,
+    bench_mrsch_episode,
+    bench_pool_accounting,
+    calibrate,
+    run_suite,
+)
+from repro.perf.trajectory import (
+    TRAJECTORY_PATH,
+    append_entry,
+    check_regression,
+    load_trajectory,
+    make_entry,
+)
+
+__all__ = [
+    "BenchResult",
+    "bench_dfp_scoring",
+    "bench_fcfs_replay",
+    "bench_mrsch_episode",
+    "bench_pool_accounting",
+    "calibrate",
+    "run_suite",
+    "TRAJECTORY_PATH",
+    "append_entry",
+    "check_regression",
+    "load_trajectory",
+    "make_entry",
+]

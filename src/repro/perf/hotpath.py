@@ -1,0 +1,315 @@
+"""Hot-path micro-benchmarks (PR 4's measured surface).
+
+Each benchmark exercises one layer the replay pipeline leans on:
+
+* :func:`bench_fcfs_replay` — end-to-end event-driven replay of a
+  saturated Theta-like trace under FCFS+EASY. Dominated by the
+  scheduler-loop bookkeeping (window extraction, dequeues, the
+  vectorized backfill pass) — the paper-scale scaling term.
+* :func:`bench_mrsch_episode` — one MRSch training episode (simulation
+  rollout with per-decision DFP scoring + the replay-buffer training
+  epoch), i.e. the §III-D curriculum unit of work.
+* :func:`bench_pool_accounting` — ResourcePool allocate/release churn
+  interleaved with the EASY order-statistic queries
+  (``earliest_fit_time`` / ``free_units_at`` / ``can_fit``).
+* :func:`bench_dfp_scoring` — per-decision ``forward_scores`` calls
+  (the folded inference path), optionally in float32.
+
+This module deliberately touches only long-stable public APIs
+(simulator, schedulers, pool, trace generator, DFP agent), so the very
+same file can be dropped onto an older checkout to measure a historical
+commit for the ``BENCH_hotpath.json`` trajectory.
+
+Timings are wall-clock (``perf_counter``) around the measured phase
+only — trace generation and scheduler construction are setup.
+:func:`calibrate` times a fixed NumPy workload so trajectory entries
+carry a machine-speed yardstick; regression checks compare
+``wall / calibration`` ratios, not raw seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "BenchResult",
+    "calibrate",
+    "bench_fcfs_replay",
+    "bench_mrsch_episode",
+    "bench_pool_accounting",
+    "bench_dfp_scoring",
+    "run_suite",
+    "SCALES",
+]
+
+
+@dataclass
+class BenchResult:
+    """One benchmark measurement."""
+
+    name: str
+    wall_s: float
+    #: work units behind ``wall_s`` (jobs replayed, decisions scored …)
+    n_units: int
+    #: free-form sizing/context (trace size, queue depth, dtype, …)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def per_unit_ms(self) -> float:
+        return 1e3 * self.wall_s / max(self.n_units, 1)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "wall_s": self.wall_s,
+            "n_units": self.n_units,
+            "per_unit_ms": self.per_unit_ms,
+            "meta": dict(self.meta),
+        }
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Seconds for a fixed NumPy reference workload (median of runs).
+
+    A machine-speed yardstick: trajectory entries store raw wall time
+    *and* ``wall / calibration``, so the regression guard compares
+    commits meaningfully even across laptops/CI runners.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(256, 256))
+    b = rng.normal(size=(256, 256))
+    v = rng.normal(size=200_000)
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        acc = a
+        for _ in range(60):
+            acc = np.tanh(acc @ b * 1e-2)
+        np.sort(v.copy())
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return float(times[len(times) // 2])
+
+
+# -- workload construction ---------------------------------------------------
+
+
+def _saturated_trace(n_jobs: int, nodes: int, bb_units: int, seed: int,
+                     mean_interarrival: float):
+    """A Theta-like trace that keeps deep queues (the hard regime)."""
+    from repro.cluster.resources import SystemConfig
+    from repro.workload.suites import build_workload
+    from repro.workload.theta import ThetaTraceConfig, generate_theta_trace
+
+    system = SystemConfig.mini_theta(nodes=nodes, bb_units=bb_units)
+    base = generate_theta_trace(
+        ThetaTraceConfig(
+            total_nodes=nodes, n_jobs=n_jobs, mean_interarrival=mean_interarrival
+        ),
+        seed=seed,
+    )
+    jobs = build_workload("S3", base, system, seed=seed)
+    return system, jobs
+
+
+# -- benchmarks ---------------------------------------------------------------
+
+
+def bench_fcfs_replay(
+    n_jobs: int = 20_000,
+    nodes: int = 128,
+    bb_units: int = 64,
+    mean_interarrival: float = 55.0,
+    seed: int = 7,
+) -> BenchResult:
+    """Replay ``n_jobs`` under FCFS+EASY; the end-to-end hot path."""
+    from repro.sched.fcfs import FCFSScheduler
+    from repro.sim.simulator import Simulator
+
+    system, jobs = _saturated_trace(n_jobs, nodes, bb_units, seed, mean_interarrival)
+    sim = Simulator(system, FCFSScheduler(window_size=10), record_timeline=False)
+    t0 = time.perf_counter()
+    result = sim.run(jobs)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="fcfs_replay",
+        wall_s=wall,
+        n_units=n_jobs,
+        meta={
+            "nodes": nodes,
+            "bb_units": bb_units,
+            "mean_interarrival": mean_interarrival,
+            "makespan": result.makespan,
+            "instances": result.n_scheduling_instances,
+        },
+    )
+
+
+def bench_mrsch_episode(
+    n_jobs: int = 2_500,
+    nodes: int = 128,
+    bb_units: int = 64,
+    mean_interarrival: float = 110.0,
+    seed: int = 11,
+    agent_seed: int = 5,
+) -> BenchResult:
+    """One MRSch training episode: rollout + replay training epoch."""
+    from repro.core.mrsch import MRSchScheduler
+    from repro.core.training import train_episodes
+
+    system, jobs = _saturated_trace(n_jobs, nodes, bb_units, seed, mean_interarrival)
+    sched = MRSchScheduler(system, window_size=10, seed=agent_seed)
+    t0 = time.perf_counter()
+    result = train_episodes(sched, [jobs], system)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="mrsch_episode",
+        wall_s=wall,
+        n_units=n_jobs,
+        meta={
+            "nodes": nodes,
+            "bb_units": bb_units,
+            "mean_interarrival": mean_interarrival,
+            "final_loss": result.final_loss(),
+        },
+    )
+
+
+def bench_pool_accounting(
+    n_rounds: int = 2_000, nodes: int = 512, bb_units: int = 256, seed: int = 3
+) -> BenchResult:
+    """Allocate/release churn + EASY order-statistic queries."""
+    from repro.cluster.resources import ResourcePool, SystemConfig
+    from repro.workload.job import Job
+
+    system = SystemConfig.mini_theta(nodes=nodes, bb_units=bb_units)
+    pool = ResourcePool(system)
+    rng = np.random.default_rng(seed)
+    jobs = [
+        Job(
+            job_id=i,
+            submit_time=0.0,
+            runtime=float(rng.integers(60, 5000)),
+            walltime=float(rng.integers(5000, 20000)),
+            requests={
+                "node": int(rng.integers(1, nodes // 4)),
+                "burst_buffer": int(rng.integers(0, bb_units // 4)),
+            },
+        )
+        for i in range(64)
+    ]
+    probe = jobs[0]
+    active: list[Job] = []
+    t0 = time.perf_counter()
+    now = 0.0
+    n_queries = 0
+    for round_i in range(n_rounds):
+        now += 10.0
+        job = jobs[round_i % len(jobs)]
+        if job.job_id in {j.job_id for j in active}:
+            pool.release(job)
+            active.remove(job)
+        elif pool.can_fit(job):
+            pool.allocate(job, now)
+            active.append(job)
+        # An EASY pass worth of queries against the current state.
+        shadow = pool.earliest_fit_time(probe, now)
+        for name in system.names:
+            pool.free_units_at(name, shadow, now)
+        for j in jobs[:8]:
+            pool.can_fit(j)
+        n_queries += 1 + system.n_resources + 8
+    wall = time.perf_counter() - t0
+    for job in active:
+        pool.release(job)
+    return BenchResult(
+        name="pool_accounting",
+        wall_s=wall,
+        n_units=n_queries,
+        meta={"nodes": nodes, "bb_units": bb_units, "rounds": n_rounds},
+    )
+
+
+def bench_dfp_scoring(
+    n_calls: int = 2_000,
+    nodes: int = 128,
+    bb_units: int = 64,
+    window: int = 10,
+    seed: int = 9,
+    dtype: str | None = None,
+) -> BenchResult:
+    """Per-decision folded inference (``forward_scores``), B = 1.
+
+    ``dtype="float32"`` opts into the reduced-precision scoring mode on
+    checkouts that provide it (silently skipped on older ones, so the
+    trajectory driver can run the same file everywhere).
+    """
+    from repro.cluster.resources import ResourcePool, SystemConfig
+    from repro.core.dfp import DFPAgent, DFPConfig
+    from repro.core.encoding import StateEncoder
+
+    system = SystemConfig.mini_theta(nodes=nodes, bb_units=bb_units)
+    encoder = StateEncoder(system, window_size=window)
+    config = DFPConfig(
+        state_dim=encoder.state_dim,
+        n_measurements=system.n_resources,
+        n_actions=window,
+        slot_dim=encoder.job_dim,
+    )
+    agent = DFPAgent(config, rng=seed)
+    applied_dtype = "float64"
+    if dtype is not None and hasattr(agent, "set_inference_dtype"):
+        agent.set_inference_dtype(dtype)
+        applied_dtype = dtype
+    rng = np.random.default_rng(seed)
+    pool = ResourcePool(system)
+    state = rng.normal(size=encoder.state_dim)
+    measurement = pool.utilizations()
+    goal = np.full(system.n_resources, 1.0 / system.n_resources)
+    agent.action_scores(state, measurement, goal)  # warm buffers/caches
+    t0 = time.perf_counter()
+    for _ in range(n_calls):
+        agent.action_scores(state, measurement, goal)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="dfp_scoring" if dtype is None else f"dfp_scoring_{dtype}",
+        wall_s=wall,
+        n_units=n_calls,
+        meta={"state_dim": encoder.state_dim, "window": window, "dtype": applied_dtype},
+    )
+
+
+#: benchmark sizings: "full" demonstrates the paper-scale claims,
+#: "smoke" finishes in seconds for the CI fast lane
+SCALES: dict[str, dict] = {
+    "full": {
+        "fcfs_replay": {"n_jobs": 20_000, "mean_interarrival": 55.0},
+        "mrsch_episode": {"n_jobs": 2_500, "mean_interarrival": 110.0},
+        "pool_accounting": {"n_rounds": 2_000},
+        "dfp_scoring": {"n_calls": 2_000},
+    },
+    "smoke": {
+        "fcfs_replay": {"n_jobs": 1_500, "mean_interarrival": 70.0},
+        "mrsch_episode": {"n_jobs": 250, "mean_interarrival": 150.0},
+        "pool_accounting": {"n_rounds": 300},
+        "dfp_scoring": {"n_calls": 300},
+    },
+}
+
+
+def run_suite(scale: str = "full", float32: bool = True) -> dict[str, BenchResult]:
+    """Run every hot-path benchmark at ``scale``; keyed by name."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown bench scale {scale!r}; choose from {sorted(SCALES)}")
+    sizes = SCALES[scale]
+    results = [
+        bench_fcfs_replay(**sizes["fcfs_replay"]),
+        bench_mrsch_episode(**sizes["mrsch_episode"]),
+        bench_pool_accounting(**sizes["pool_accounting"]),
+        bench_dfp_scoring(**sizes["dfp_scoring"]),
+    ]
+    results.append(bench_dfp_scoring(**sizes["dfp_scoring"], dtype="float32")
+                   if float32 else None)
+    return {r.name: r for r in results if r is not None}

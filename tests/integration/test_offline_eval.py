@@ -235,6 +235,30 @@ class TestScenarioPlumbing:
         assert sources[first.results[1].key] == "cache"
         assert store.has(victim)  # re-recorded
 
+    def test_compact_flip_invalidates_cached_traces(self, tmp_path):
+        """Changing trace fidelity must re-execute recalled cells so the
+        store actually changes width (not silently keep old files)."""
+        kwargs = dict(trace_dir=tmp_path / "traces", cache_dir=tmp_path / "cache",
+                      checkpoint_path=None)
+        first = run_scenario(self.SCENARIO, **kwargs)
+        assert all(r.source == "run" for r in first.results)
+        store = TraceStore(tmp_path / "traces")
+        key = first.results[0].trace_keys[0]
+        assert store.stored_compact(key) is False
+
+        compact_scenario = dict(self.SCENARIO)
+        compact_scenario["evaluation"] = {
+            **self.SCENARIO["evaluation"], "compact_traces": True,
+        }
+        second = run_scenario(compact_scenario, **kwargs)
+        assert all(r.source == "run" for r in second.results)  # re-executed
+        assert store.stored_compact(key) is True  # narrowed on disk
+        with np.load(store.trace_dir / f"{key}.npz", allow_pickle=False) as data:
+            assert data["states"].dtype == np.float32
+        # Same fidelity again -> normal cache recall.
+        third = run_scenario(compact_scenario, **kwargs)
+        assert all(r.source == "cache" for r in third.results)
+
     def test_capture_requires_trace_dir(self):
         scenario = dict(self.SCENARIO)
         with pytest.raises(ValueError, match="trace store location"):
@@ -341,3 +365,25 @@ class TestCli:
         trace_dir = self._record(tmp_path)
         assert main(["eval", "--trace-dir", trace_dir, "--policies", "fcfs"]) == 1
         assert "at least two" in capsys.readouterr().err
+
+
+class TestCompactSelfReplay:
+    """Float32 trace compaction must preserve replay fidelity."""
+
+    def test_compact_store_exact_action_self_replay(self, tmp_path, recorded_mrsch):
+        _, trace, sched, _ = recorded_mrsch
+        store = TraceStore(tmp_path / "compact", compact=True)
+        key = store.put(trace)
+        back = store.get(trace.meta["task_key"], trace.meta["workload"])
+        assert back is not None and store.has(key)
+        policy = DFPReplayPolicy.from_scheduler(sched)
+        scores = policy(back)
+        np.testing.assert_array_equal(
+            policy_choices(back, scores), trace.actions
+        )
+        # Logged combined scores survive the narrowing within float32
+        # precision of their magnitude.
+        finite = np.isfinite(trace.scores) & trace.masks
+        np.testing.assert_allclose(
+            back.scores[finite], trace.scores[finite], rtol=1e-5, atol=1e-5
+        )

@@ -1,0 +1,246 @@
+"""Tests for the buffer-reused DFP inference paths and replay store.
+
+Contracts pinned here:
+
+* the workspace-backed ``forward_scores``/``forward_infer`` are
+  **bit-identical** to the allocating layer-by-layer computation in
+  float64 (buffer reuse must never change a score);
+* returned score arrays are safe to hold across calls (no aliasing of
+  internal buffers);
+* the opt-in float32 mode stays within ~1e-5 relative of float64 and is
+  fully reversible;
+* parameter updates invalidate cast-parameter caches;
+* :class:`StratifiedReplay` reproduces ``deque(maxlen)`` semantics and
+  the exact stratified draws of the seed implementation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dfp import DFPAgent, DFPConfig, DFPNetwork, Experience, StratifiedReplay
+
+
+def small_config(stream: str = "shared") -> DFPConfig:
+    return DFPConfig(
+        state_dim=60,
+        n_measurements=2,
+        n_actions=10,
+        action_stream=stream,
+        slot_dim=4 if stream == "shared" else None,
+    )
+
+
+def reference_scores(net: DFPNetwork, state, meas, goal, weights):
+    """The seed-era allocating computation of ``forward_scores``."""
+    c = net.config
+    s = net.state_net.forward(state)
+    m = net.meas_net.forward(meas)
+    g = net.goal_net.forward(goal)
+    joint = np.concatenate([s, m, g], axis=1)
+    batch = joint.shape[0]
+    exp_h = joint
+    for layer in net.expectation_stream.layers[:-1]:
+        exp_h = layer.forward(exp_h)
+    el = net.expectation_stream.layers[-1]
+    expectation = exp_h @ (el.params["W"] @ weights) + (el.params["b"] @ weights)
+    al = net.action_stream.layers[-1]
+    if c.action_stream == "shared":
+        slots = state[:, : c.n_actions * c.slot_dim].reshape(
+            batch, c.n_actions, c.slot_dim
+        )
+        head_in = np.concatenate(
+            [np.repeat(joint[:, None, :], c.n_actions, axis=1), slots], axis=2
+        ).reshape(batch * c.n_actions, -1)
+        act_h = head_in
+        for layer in net.action_stream.layers[:-1]:
+            act_h = layer.forward(act_h)
+        actions = (
+            act_h @ (al.params["W"] @ weights) + al.params["b"] @ weights
+        ).reshape(batch, c.n_actions)
+    else:
+        act_h = joint
+        for layer in net.action_stream.layers[:-1]:
+            act_h = layer.forward(act_h)
+        w_fold = al.params["W"].reshape(-1, c.n_actions, c.pred_dim) @ weights
+        b_fold = al.params["b"].reshape(c.n_actions, c.pred_dim) @ weights
+        actions = act_h @ w_fold + b_fold
+    actions = actions - actions.mean(axis=1, keepdims=True)
+    return expectation[:, None] + actions
+
+
+@pytest.fixture(params=["shared", "dense"])
+def net_and_inputs(request):
+    c = small_config(request.param)
+    net = DFPNetwork(c, rng=1)
+    rng = np.random.default_rng(0)
+    state = rng.normal(size=(3, c.state_dim))
+    meas = rng.uniform(size=(3, c.n_measurements))
+    goal = rng.uniform(size=(3, c.n_measurements))
+    w = np.asarray(c.temporal_weights)
+    weights = (w[:, None] * goal[0][None, :]).reshape(c.pred_dim)
+    return net, state, meas, goal, weights
+
+
+class TestWorkspaceInference:
+    def test_forward_scores_bit_identical_to_reference(self, net_and_inputs):
+        net, state, meas, goal, weights = net_and_inputs
+        want = reference_scores(net, state, meas, goal, weights)
+        got = net.forward_scores(state, meas, goal, weights)
+        np.testing.assert_array_equal(got, want)
+
+    def test_buffer_reuse_is_stable_and_output_is_fresh(self, net_and_inputs):
+        net, state, meas, goal, weights = net_and_inputs
+        first = net.forward_scores(state, meas, goal, weights)
+        kept = first.copy()
+        second = net.forward_scores(state, meas, goal, weights)
+        assert first is not second  # output arrays are never recycled
+        np.testing.assert_array_equal(first, kept)  # ... nor clobbered
+        np.testing.assert_array_equal(first, second)
+
+    def test_forward_infer_matches_forward(self, net_and_inputs):
+        net, state, meas, goal, _ = net_and_inputs
+        np.testing.assert_array_equal(
+            net.forward_infer(state, meas, goal),
+            net.forward(state, meas, goal),
+        )
+
+    def test_varying_batch_sizes_reuse_safely(self, net_and_inputs):
+        net, state, meas, goal, weights = net_and_inputs
+        for batch in (1, 3, 2, 3, 1):
+            got = net.forward_scores(
+                state[:batch], meas[:batch], goal[:batch], weights
+            )
+            want = reference_scores(
+                net, state[:batch], meas[:batch], goal[:batch], weights
+            )
+            np.testing.assert_array_equal(got, want)
+
+    def test_float32_mode_close_and_reversible(self, net_and_inputs):
+        net, state, meas, goal, weights = net_and_inputs
+        base = net.forward_scores(state, meas, goal, weights)
+        net.set_inference_dtype("float32")
+        fast = net.forward_scores(state, meas, goal, weights)
+        assert fast.dtype == np.float32
+        np.testing.assert_allclose(fast, base, rtol=1e-4, atol=1e-4)
+        assert net.inference_dtype == np.float32
+        net.set_inference_dtype(None)
+        np.testing.assert_array_equal(
+            net.forward_scores(state, meas, goal, weights), base
+        )
+
+    def test_param_updates_invalidate_cast_cache(self, net_and_inputs):
+        net, state, meas, goal, weights = net_and_inputs
+        net.set_inference_dtype("float32")
+        before = net.forward_scores(state, meas, goal, weights).copy()
+        for layer in net.layers:
+            for value in layer.params.values():
+                value *= 1.5
+        net.notify_params_changed()
+        after = net.forward_scores(state, meas, goal, weights)
+        assert not np.array_equal(before, after)
+
+
+class TestAgentInference:
+    def test_action_scores_agree_between_paths(self):
+        c = small_config()
+        agent = DFPAgent(c, rng=7)
+        rng = np.random.default_rng(1)
+        state = rng.normal(size=c.state_dim)
+        meas = rng.uniform(size=c.n_measurements)
+        goal = rng.uniform(size=c.n_measurements)
+        single = agent.action_scores(state, meas, goal)
+        batched = agent.action_scores_batch(
+            state[None, :], meas[None, :], goal[None, :]
+        )[0]
+        np.testing.assert_allclose(single, batched, atol=1e-12)
+
+    def test_float32_agent_actions_match_float64(self):
+        """Greedy actions survive the precision drop on clear margins."""
+        c = small_config()
+        agent = DFPAgent(c, rng=7)
+        rng = np.random.default_rng(1)
+        mask = np.ones(c.n_actions, dtype=bool)
+        actions64 = []
+        inputs = [
+            (
+                rng.normal(size=c.state_dim),
+                rng.uniform(size=c.n_measurements),
+                rng.uniform(0.2, 0.8, size=c.n_measurements),
+            )
+            for _ in range(20)
+        ]
+        for state, meas, goal in inputs:
+            actions64.append(agent.act(state, meas, goal, mask))
+        agent.set_inference_dtype("float32")
+        actions32 = [agent.act(state, meas, goal, mask) for state, meas, goal in inputs]
+        assert actions64 == actions32
+
+
+# -- StratifiedReplay ---------------------------------------------------------
+
+
+def make_exp(i: int, terminal: bool) -> Experience:
+    return Experience(
+        state=np.array([float(i)]),
+        measurement=np.array([0.0]),
+        goal=np.array([1.0]),
+        action=i % 3,
+        target=np.zeros(1),
+        terminal=terminal,
+    )
+
+
+class TestStratifiedReplay:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            StratifiedReplay(0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.booleans(), min_size=0, max_size=300),
+           st.integers(1, 80))
+    def test_matches_deque_semantics(self, terminals, capacity):
+        replay = StratifiedReplay(capacity)
+        reference: deque = deque(maxlen=capacity)
+        for i, terminal in enumerate(terminals):
+            e = make_exp(i, terminal)
+            replay.append(e)
+            reference.append(e)
+            assert len(replay) == len(reference)
+        assert list(replay) == list(reference)
+        for i in range(len(reference)):
+            assert replay[i] is reference[i]
+        # The strata must equal filtering the reference buffer.
+        term = [e for e in reference if e.terminal]
+        reg = [e for e in reference if not e.terminal]
+        assert [replay.terminal_at(i) for i in range(replay.n_terminal)] == term
+        assert [replay.regular_at(i) for i in range(replay.n_regular)] == reg
+
+    def test_indexing_bounds(self):
+        replay = StratifiedReplay(4)
+        for i in range(3):
+            replay.append(make_exp(i, False))
+        assert replay[-1].state[0] == 2.0
+        with pytest.raises(IndexError):
+            replay[3]
+        with pytest.raises(IndexError):
+            replay[-4]
+
+    def test_agent_sampling_is_deterministic_and_stratified(self):
+        """Same seed → same draws; both strata present in the batch."""
+        def build():
+            agent = DFPAgent(small_config(), rng=42)
+            for i in range(50):
+                agent.replay.append(make_exp(i, terminal=(i % 7 == 0)))
+            return agent
+
+        a, b = build(), build()
+        batch_a = a._sample_batch(16)
+        batch_b = b._sample_batch(16)
+        assert [e.state[0] for e in batch_a] == [e.state[0] for e in batch_b]
+        assert sum(e.terminal for e in batch_a) == 8  # half the batch

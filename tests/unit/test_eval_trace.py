@@ -106,3 +106,64 @@ class TestTraceStore:
         store.put(make_decision_trace())
         with pytest.raises(FileNotFoundError, match="missing"):
             store.load_all(["testtask_S1", "ghost_S9"])
+
+
+class TestCompactStorage:
+    """Float32 trace compaction (`compact=True`) — satellite of PR 4."""
+
+    def test_compact_round_trip_widens_and_stays_close(
+        self, tmp_path, make_decision_trace
+    ):
+        trace = make_decision_trace(n=40, window=6, seed=3)
+        path = tmp_path / "c.npz"
+        trace.save(path, compact=True)
+        back = DecisionTrace.load(path)
+        # Arrays come back float64 (one dtype downstream) ...
+        for name in DecisionTrace._ARRAYS:
+            got = getattr(back, name)
+            want = getattr(trace, name)
+            assert got.dtype == want.dtype, name
+            np.testing.assert_allclose(got, want, rtol=1e-6, atol=1e-5,
+                                       err_msg=name)
+        # ... with exact ints/bools/times and the meta intact.
+        np.testing.assert_array_equal(back.actions, trace.actions)
+        np.testing.assert_array_equal(back.job_ids, trace.job_ids)
+        np.testing.assert_array_equal(back.masks, trace.masks)
+        np.testing.assert_array_equal(back.times, trace.times)
+        assert back.meta == trace.meta
+
+    def test_compact_files_are_smaller(self, tmp_path, make_decision_trace):
+        trace = make_decision_trace(n=200, window=8, seed=5)
+        full = tmp_path / "full.npz"
+        compact = tmp_path / "compact.npz"
+        trace.save(full)
+        trace.save(compact, compact=True)
+        ratio = compact.stat().st_size / full.stat().st_size
+        assert ratio < 0.75, f"compact store should shrink the NPZ, got {ratio:.2f}"
+
+    def test_store_compact_flag_applies_to_puts(self, tmp_path, make_decision_trace):
+        trace = make_decision_trace(n=50, window=5, seed=9)
+        full_store = TraceStore(tmp_path / "full")
+        compact_store = TraceStore(tmp_path / "compact", compact=True)
+        key = full_store.put(trace)
+        assert compact_store.put(trace) == key
+        full_size = (full_store.trace_dir / f"{key}.npz").stat().st_size
+        compact_size = (compact_store.trace_dir / f"{key}.npz").stat().st_size
+        assert compact_size < full_size
+        # Reading is dtype-agnostic: both stores hand back usable traces.
+        assert compact_store.get(
+            trace.meta["task_key"], trace.meta["workload"]
+        ).n_decisions == trace.n_decisions
+
+    def test_resave_after_compact_load_restores_full_width(
+        self, tmp_path, make_decision_trace
+    ):
+        """compact → load → save (full) must not stay silently narrow."""
+        trace = make_decision_trace(n=30, window=4, seed=1)
+        first = tmp_path / "a.npz"
+        second = tmp_path / "b.npz"
+        trace.save(first, compact=True)
+        DecisionTrace.load(first).save(second)
+        with np.load(second, allow_pickle=False) as data:
+            assert data["states"].dtype == np.float64
+            assert json.loads(str(data["meta"]))["compact"] is False

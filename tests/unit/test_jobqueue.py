@@ -1,0 +1,207 @@
+"""Tests for the incremental JobQueue and the scheduler fast paths.
+
+The crucial property: the scheduler machinery must make *identical
+decisions* whether the queue is a plain list (the reference path the
+other unit tests pin) or a :class:`JobQueue` (the simulator's fast
+path) — window contents, selection order, reservation choice and every
+backfill admission included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.resources import NODE, ResourcePool, ResourceSpec, SystemConfig
+from repro.sched.base import SchedulingContext
+from repro.sched.fcfs import FCFSScheduler
+from repro.sched.jobqueue import JobQueue
+from tests.conftest import make_job
+
+
+def node_system(units: int = 10) -> SystemConfig:
+    return SystemConfig(resources=(ResourceSpec(NODE, units),))
+
+
+def njob(job_id, nodes, submit=0.0, runtime=100.0, walltime=None):
+    job = make_job(job_id=job_id, submit=submit, runtime=runtime,
+                   walltime=walltime, nodes=nodes)
+    job.requests.pop("burst_buffer")
+    return job
+
+
+class TestJobQueueBasics:
+    def test_append_iter_len(self):
+        q = JobQueue([NODE])
+        jobs = [njob(i, nodes=1) for i in range(5)]
+        for job in jobs:
+            q.append(job)
+        assert len(q) == 5
+        assert list(q) == jobs
+        assert bool(q)
+
+    def test_contains_and_remove(self):
+        q = JobQueue([NODE])
+        a, b = njob(1, nodes=2), njob(2, nodes=3)
+        q.append(a), q.append(b)
+        assert a in q and b in q
+        q.remove(a)
+        assert a not in q and b in q
+        assert list(q) == [b]
+        with pytest.raises(ValueError, match="not queued"):
+            q.remove(a)
+
+    def test_double_append_rejected(self):
+        q = JobQueue([NODE])
+        job = njob(1, nodes=1)
+        q.append(job)
+        with pytest.raises(ValueError, match="already queued"):
+            q.append(job)
+
+    def test_indexing_matches_live_order(self):
+        q = JobQueue([NODE])
+        jobs = [njob(i, nodes=1) for i in range(4)]
+        for job in jobs:
+            q.append(job)
+        q.remove(jobs[1])
+        assert q[0] is jobs[0]
+        assert q[1] is jobs[2]
+        assert q[-1] is jobs[3]
+
+    def test_window_skips_removed_and_started(self):
+        q = JobQueue([NODE])
+        jobs = [njob(i, nodes=1) for i in range(6)]
+        for job in jobs:
+            q.append(job)
+        q.remove(jobs[0])
+        jobs[2].start_time = 1.0  # started but (pathologically) still queued
+        assert q.window(3) == [jobs[1], jobs[3], jobs[4]]
+
+    def test_columnar_arrays_track_removals(self):
+        q = JobQueue([NODE])
+        jobs = [njob(i, nodes=i + 1, walltime=100.0 * (i + 1)) for i in range(4)]
+        for job in jobs:
+            q.append(job)
+        reqs, wall, alive, base = q.candidate_arrays()
+        np.testing.assert_array_equal(reqs[:, 0], [1, 2, 3, 4])
+        np.testing.assert_array_equal(wall, [100.0, 200.0, 300.0, 400.0])
+        assert alive.all()
+        q.remove(jobs[2])
+        assert not alive[2] and alive[[0, 1, 3]].all()  # live view updated
+        assert q.job_at_slot(base + 1) is jobs[1]
+        with pytest.raises(IndexError):
+            q.job_at_slot(base + 2)
+
+    def test_compaction_preserves_order_and_slots(self):
+        q = JobQueue([NODE])
+        jobs = [njob(i, nodes=1 + i % 3) for i in range(900)]
+        for job in jobs:
+            q.append(job)
+        for job in jobs[:600]:
+            q.remove(job)
+        q.append(njob(10_000, nodes=2))  # append triggers compaction
+        live = jobs[600:] + [q[len(q) - 1]]
+        assert list(q) == live
+        reqs, wall, alive, base = q.candidate_arrays()
+        assert alive.all()
+        for i, job in enumerate(live):
+            assert q.job_at_slot(q.slot_of(job)) is job
+            assert reqs[q.slot_of(job) - base, 0] == job.request(NODE)
+
+    def test_contention_totals_matches_loop(self):
+        system = SystemConfig.mini_theta(nodes=16, bb_units=8)
+        q = JobQueue(system.names)
+        jobs = [make_job(job_id=i, nodes=1 + i % 5, bb=i % 3,
+                         runtime=50.0 * (i + 1)) for i in range(20)]
+        for job in jobs:
+            q.append(job)
+        for job in jobs[::3]:
+            q.remove(job)
+        caps = np.array([16.0, 8.0])
+        expected = np.zeros(2)
+        for job in q:
+            req = np.array([job.request(n) for n in system.names], dtype=float)
+            expected += (req / caps) * job.walltime
+        np.testing.assert_allclose(q.contention_totals(caps), expected, rtol=1e-12)
+
+    def test_growth_beyond_initial_capacity(self):
+        q = JobQueue([NODE])
+        jobs = [njob(i, nodes=1) for i in range(1000)]
+        for job in jobs:
+            q.append(job)
+        assert len(q) == 1000
+        assert q.window(3) == jobs[:3]
+        assert list(q) == jobs
+
+
+# -- fast path ≡ reference path ----------------------------------------------
+
+
+def drive_instances(queue_factory, jobs_data, window_size=4):
+    """Run FCFS scheduling instances over a canned arrival script.
+
+    Returns the (instance, started job id) log; the queue object comes
+    from ``queue_factory`` so the same script drives a plain list or a
+    JobQueue through the *identical* Scheduler machinery.
+    """
+    system = node_system(10)
+    pool = ResourcePool(system)
+    sched = FCFSScheduler(window_size=window_size, backfill=True)
+    queue = queue_factory(system)
+    jobs = [
+        njob(i + 1, nodes=nodes, runtime=float(runtime), walltime=float(runtime))
+        for i, (nodes, runtime, _) in enumerate(jobs_data)
+    ]
+    log = []
+    now = 0.0
+    running: list = []
+
+    def make_start(now_ref):
+        def start(job):
+            pool.allocate(job, now_ref[0])
+            job.start_time = now_ref[0]
+            running.append(job)
+        return start
+
+    pending = sorted(jobs, key=lambda j: j.submit_time)
+    idx = 0
+    for instance, (_, _, gap) in enumerate(jobs_data):
+        now += gap
+        # Release anything whose (exact-estimate) runtime elapsed.
+        for job in list(running):
+            if job.start_time + job.runtime <= now:
+                pool.release(job)
+                running.remove(job)
+        if idx < len(pending):
+            queue.append(pending[idx])
+            idx += 1
+        now_ref = [now]
+        ctx = SchedulingContext(
+            now=now, queue=queue, pool=pool, system=system,
+            start=make_start(now_ref), running=list(running),
+        )
+        sched.schedule(ctx)
+        log.extend((instance, j.job_id) for j in ctx.started)
+    return log
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(1, 10),      # nodes
+            st.integers(50, 2000),   # runtime
+            st.integers(0, 400),     # gap before this instance
+        ),
+        min_size=3,
+        max_size=30,
+    )
+)
+def test_jobqueue_path_identical_to_list_path(jobs_data):
+    """Window + selection + reservation + EASY decisions must match the
+    plain-list reference exactly, instance by instance."""
+    as_list = drive_instances(lambda system: [], jobs_data)
+    as_queue = drive_instances(lambda system: JobQueue(system.names), jobs_data)
+    assert as_list == as_queue

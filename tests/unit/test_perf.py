@@ -1,0 +1,134 @@
+"""Tests for the repro.perf benchmark + trajectory subsystem.
+
+Benchmarks run here at trivial sizes — these tests pin the machinery
+(result shapes, trajectory round-trip, the regression guard's
+normalised comparison), not machine performance.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.hotpath import (
+    BenchResult,
+    bench_dfp_scoring,
+    bench_fcfs_replay,
+    bench_pool_accounting,
+    run_suite,
+)
+from repro.perf.trajectory import (
+    append_entry,
+    check_regression,
+    format_entry,
+    latest_entry,
+    load_trajectory,
+    make_entry,
+)
+
+
+def tiny_results() -> dict[str, BenchResult]:
+    return {
+        "fcfs_replay": BenchResult("fcfs_replay", wall_s=2.0, n_units=100),
+        "dfp_scoring": BenchResult("dfp_scoring", wall_s=0.5, n_units=50),
+    }
+
+
+class TestBenchmarks:
+    def test_fcfs_replay_tiny(self):
+        result = bench_fcfs_replay(n_jobs=60, mean_interarrival=300.0)
+        assert result.name == "fcfs_replay"
+        assert result.wall_s > 0 and result.n_units == 60
+        assert result.meta["instances"] > 0
+        assert result.per_unit_ms == pytest.approx(
+            1e3 * result.wall_s / 60
+        )
+
+    def test_pool_accounting_tiny(self):
+        result = bench_pool_accounting(n_rounds=10, nodes=32, bb_units=16)
+        assert result.n_units > 0 and result.wall_s > 0
+
+    def test_dfp_scoring_tiny_and_float32(self):
+        base = bench_dfp_scoring(n_calls=5, nodes=32, bb_units=16)
+        fast = bench_dfp_scoring(n_calls=5, nodes=32, bb_units=16, dtype="float32")
+        assert base.meta["dtype"] == "float64"
+        assert fast.meta["dtype"] == "float32"
+        assert fast.name == "dfp_scoring_float32"
+
+    def test_run_suite_rejects_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown bench scale"):
+            run_suite(scale="galactic")
+
+
+class TestTrajectory:
+    def test_entry_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_hotpath.json"
+        entry = make_entry("first", tiny_results(), calibration_s=0.1,
+                           scale="smoke", commit="abc1234")
+        doc = append_entry(entry, path)
+        assert len(doc["trajectory"]) == 1
+        loaded = load_trajectory(path)
+        assert loaded["trajectory"][0]["label"] == "first"
+        assert loaded["trajectory"][0]["results"]["fcfs_replay"][
+            "normalized"
+        ] == pytest.approx(20.0)
+        # Appends accumulate.
+        append_entry(make_entry("second", tiny_results(), 0.1, scale="smoke"), path)
+        assert len(load_trajectory(path)["trajectory"]) == 2
+
+    def test_load_missing_file_gives_empty_skeleton(self, tmp_path):
+        doc = load_trajectory(tmp_path / "nope.json")
+        assert doc["trajectory"] == []
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "trajectory": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_trajectory(path)
+
+    def test_calibration_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_entry("x", tiny_results(), calibration_s=0.0)
+
+    def test_latest_entry_filters_scale_and_label(self, tmp_path):
+        path = tmp_path / "t.json"
+        append_entry(make_entry("a", tiny_results(), 0.1, scale="full"), path)
+        append_entry(make_entry("b", tiny_results(), 0.1, scale="smoke"), path)
+        doc = load_trajectory(path)
+        assert latest_entry(doc)["label"] == "b"
+        assert latest_entry(doc, scale="full")["label"] == "a"
+        assert latest_entry(doc, scale="smoke", before_label="b") is None
+
+    def test_regression_guard_uses_normalised_values(self):
+        # Same wall time on a machine measured 2x slower → not a
+        # regression; the normalised ratio is what counts.
+        base = make_entry("base", tiny_results(), calibration_s=0.1)
+        same_speed = make_entry("now", tiny_results(), calibration_s=0.1)
+        assert check_regression(same_speed, base, threshold=1.5) == []
+        slower_machine = make_entry("ci", tiny_results(), calibration_s=0.2)
+        assert check_regression(slower_machine, base, threshold=1.5) == []
+
+    def test_regression_guard_trips_on_real_slowdown(self):
+        base = make_entry("base", tiny_results(), calibration_s=0.1)
+        slow = make_entry(
+            "slow",
+            {
+                "fcfs_replay": BenchResult("fcfs_replay", wall_s=4.0, n_units=100),
+                "dfp_scoring": BenchResult("dfp_scoring", wall_s=0.5, n_units=50),
+            },
+            calibration_s=0.1,
+        )
+        failures = check_regression(slow, base, threshold=1.5)
+        assert len(failures) == 1 and "fcfs_replay" in failures[0]
+        # Benchmarks missing from the baseline are skipped, not errors.
+        partial_base = make_entry(
+            "partial",
+            {"dfp_scoring": BenchResult("dfp_scoring", wall_s=0.5, n_units=50)},
+            calibration_s=0.1,
+        )
+        assert check_regression(slow, partial_base) == []
+
+    def test_format_entry_is_readable(self):
+        text = format_entry(make_entry("x", tiny_results(), 0.1, commit="abc"))
+        assert "fcfs_replay" in text and "normalized" in text
