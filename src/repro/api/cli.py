@@ -142,8 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "(exit 1) when the run regresses more than --threshold "
                     "versus the last committed entry at the same scale.",
     )
-    p_bench.add_argument("--scale", choices=("full", "smoke"), default="full",
-                         help="benchmark sizing (smoke: seconds, for CI)")
+    p_bench.add_argument("--scale", "--suite", dest="scale",
+                         choices=("full", "smoke"), default="full",
+                         help="benchmark suite sizing (smoke: seconds, for "
+                              "CI); --suite is an alias")
+    p_bench.add_argument("--list", action="store_true", dest="list_benches",
+                         help="list available benchmarks with their "
+                              "per-suite sizings and exit")
+    p_bench.add_argument("--only", nargs="+", default=None, metavar="NAME",
+                         help="run only the named benchmark(s); see --list")
     p_bench.add_argument("--label", default="local",
                          help="trajectory label for this run")
     p_bench.add_argument("--out", default=None, metavar="FILE",
@@ -323,11 +330,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         make_entry,
         run_suite,
     )
+    from repro.perf import list_benches
     from repro.perf.trajectory import format_entry, latest_entry
+
+    if args.list_benches:
+        benches = list_benches()
+        if args.json:
+            print(json.dumps(benches, indent=2, sort_keys=True))
+            return 0
+        print("Hot-path benchmarks:")
+        for bench in benches:
+            print(f"  {bench['name']:<22} {bench['description']}")
+            for scale_name, size in bench["sizes"].items():
+                sizing = ", ".join(f"{k}={v}" for k, v in size.items()) or "defaults"
+                print(f"  {'':<22}   {scale_name}: {sizing}")
+        return 0
+
+    if args.only and args.append:
+        # A partial entry would become the scale's newest baseline and
+        # silently blind --check for every benchmark it omits.
+        raise ValueError(
+            "--append records a full-suite baseline; it cannot be "
+            "combined with --only (drop --append, or run the whole suite)"
+        )
 
     path = args.out if args.out is not None else TRAJECTORY_PATH
     calibration = calibrate()
-    results = run_suite(scale=args.scale, float32=not args.no_float32)
+    results = run_suite(
+        scale=args.scale,
+        float32=not args.no_float32,
+        only=_split_names(args.only) if args.only else None,
+    )
     entry = make_entry(
         args.label, results, calibration_s=calibration, scale=args.scale
     )
@@ -342,6 +375,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise ValueError(
                 f"--check needs a committed baseline entry at scale "
                 f"{args.scale!r} in {path}; record one with --append first"
+            )
+        compared = set(entry["results"]) & set(baseline.get("results", {}))
+        if not compared:
+            # check_regression skips non-overlapping names; a guard that
+            # compared nothing must not report success.
+            raise ValueError(
+                f"--check compared no benchmarks: the baseline entry "
+                f"{baseline.get('label', '?')!r} has none of "
+                f"{sorted(entry['results'])} — run the full suite or pick "
+                f"--only names the baseline covers"
             )
         failures = check_regression(entry, baseline, threshold=args.threshold)
 

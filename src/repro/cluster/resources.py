@@ -16,7 +16,15 @@ import numpy as np
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
     from repro.workload.job import Job
 
-__all__ = ["ResourceSpec", "SystemConfig", "ResourcePool", "NODE", "BURST_BUFFER", "POWER"]
+__all__ = [
+    "ResourceSpec",
+    "SystemConfig",
+    "ResourcePool",
+    "PoolDirtyTracker",
+    "NODE",
+    "BURST_BUFFER",
+    "POWER",
+]
 
 #: Canonical resource names used by the paper's experiments.
 NODE = "node"
@@ -122,6 +130,82 @@ class SystemConfig:
         )
 
 
+class PoolDirtyTracker:
+    """Per-consumer record of which pool units changed since last drain.
+
+    The incremental state encoder keeps a persistent copy of the
+    per-unit availability/estimated-free blocks; rebuilding them from
+    the pool every decision is O(ΣN) at full machine scale (Theta:
+    5,682 units). A tracker registered on the pool turns that into a
+    patch: ``allocate``/``release`` append the exact unit-index arrays
+    they touched, ``reset`` (or overflow) degrades to a full-rebuild
+    flag, and the consumer drains the accumulated regions on its next
+    encode.
+
+    Each chunk is one mutation: ``(idx, busy, est)`` — the sorted unit
+    indices it touched, whether they became busy, and their (shared)
+    new estimated free time. A unit allocated and released between two
+    drains appears in two chunks; consumers apply chunks in order, so
+    the last write is the pool's current state. Once the accumulated
+    count exceeds half the machine, patching stops paying for itself
+    and the tracker collapses to ``full`` on its own.
+    """
+
+    __slots__ = ("full", "_dirty", "_count", "_limit")
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.full: bool = True  # a fresh tracker knows nothing yet
+        self._dirty: dict[str, list[tuple[np.ndarray, bool, float]]] = {
+            n: [] for n in config.names
+        }
+        self._count = 0
+        total = sum(spec.units for spec in config.resources)
+        self._limit = max(64, total // 2)
+
+    def mark(self, name: str, idx: np.ndarray, busy: bool, est: float) -> None:
+        """Record that the units ``idx`` of ``name`` changed state."""
+        if self.full:
+            return
+        self._dirty[name].append((idx, busy, est))
+        self._count += idx.size
+        if self._count >= self._limit:
+            self.mark_all()
+
+    def mark_all(self) -> None:
+        """Degrade to a full rebuild (reset, overflow, first use)."""
+        self.full = True
+        for chunks in self._dirty.values():
+            chunks.clear()
+        self._count = 0
+
+    def drain(self) -> dict[str, list[tuple[np.ndarray, bool, float]]] | None:
+        """Dirty chunks per resource since the last drain, mutation order.
+
+        Returns ``None`` when everything must be rebuilt (the tracker
+        then forgets the flag); otherwise a mapping holding only the
+        resources that changed, each a list of ``(idx, busy, est)``
+        chunks. Chunks are kept separate — not concatenated — because a
+        single grant is very often a contiguous run of units whose new
+        per-unit values are *constants*, which consumers can patch with
+        scalar slice fills instead of gather/scatter. Either way the
+        tracker is left clean.
+        """
+        if self.full:
+            self.full = False
+            self._count = 0
+            for chunks in self._dirty.values():
+                chunks.clear()
+            return None
+        out: dict[str, list[tuple[np.ndarray, bool, float]]] = {}
+        for name, chunks in self._dirty.items():
+            if not chunks:
+                continue
+            out[name] = chunks
+            self._dirty[name] = []
+        self._count = 0
+        return out
+
+
 class ResourcePool:
     """Allocation state for every resource of a system.
 
@@ -175,6 +259,10 @@ class ResourcePool:
         }
         #: job_id -> {resource: unit index array}
         self._allocations: dict[int, dict[str, np.ndarray]] = {}
+        #: dirty-region consumers (incremental state encoders); kept in
+        #: a plain list so the no-tracker hot path costs one truth test
+        #: per mutation.
+        self._trackers: list[PoolDirtyTracker] = []
 
     # -- queries ---------------------------------------------------------
 
@@ -211,8 +299,33 @@ class ResourcePool:
         """
         return self._free_arr
 
+    def unit_arrays(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """The live ``(busy, est_free)`` unit arrays of ``name``.
+
+        Internal state exposed for the incremental encoder's patching
+        path — callers must treat both arrays as read-only; mutations
+        belong to :meth:`allocate`/:meth:`release`/:meth:`reset` so
+        registered dirty trackers stay truthful.
+        """
+        return self._busy[name], self._est_free[name]
+
     def running_jobs(self) -> list[int]:
         return list(self._allocations)
+
+    # -- dirty-region tracking ---------------------------------------------
+
+    def register_tracker(self) -> PoolDirtyTracker:
+        """Attach a new dirty tracker fed by every future mutation."""
+        tracker = PoolDirtyTracker(self.config)
+        self._trackers.append(tracker)
+        return tracker
+
+    def unregister_tracker(self, tracker: PoolDirtyTracker) -> None:
+        """Detach ``tracker``; unknown trackers are ignored."""
+        try:
+            self._trackers.remove(tracker)
+        except ValueError:
+            pass
 
     def allocation_of(self, job_id: int) -> dict[str, np.ndarray]:
         return {k: v.copy() for k, v in self._allocations[job_id].items()}
@@ -231,6 +344,7 @@ class ResourcePool:
             raise RuntimeError(f"job {job.job_id} does not fit")
         grant: dict[str, np.ndarray] = {}
         est = now + job.walltime
+        trackers = self._trackers
         for name, amount in job.requests.items():
             if amount <= 0:
                 continue
@@ -241,6 +355,9 @@ class ResourcePool:
             self._free_arr[self._name_pos[name]] -= amount
             self._sorted_busy[name] = None
             grant[name] = free_idx
+            if trackers:
+                for tracker in trackers:
+                    tracker.mark(name, free_idx, True, est)
         self._allocations[job.job_id] = grant
         job.allocation = {k: v.tolist() for k, v in grant.items()}
 
@@ -249,12 +366,16 @@ class ResourcePool:
         grant = self._allocations.pop(job.job_id, None)
         if grant is None:
             raise RuntimeError(f"job {job.job_id} holds no allocation")
+        trackers = self._trackers
         for name, idx in grant.items():
             self._busy[name][idx] = False
             self._est_free[name][idx] = 0.0
             self._free[name] += idx.size
             self._free_arr[self._name_pos[name]] += idx.size
             self._sorted_busy[name] = None
+            if trackers:
+                for tracker in trackers:
+                    tracker.mark(name, idx, False, 0.0)
 
     def reset(self) -> None:
         for name in self.config.names:
@@ -264,6 +385,8 @@ class ResourcePool:
             self._free_arr[self._name_pos[name]] = self._capacity[name]
             self._sorted_busy[name] = None
         self._allocations.clear()
+        for tracker in self._trackers:
+            tracker.mark_all()
 
     # -- scheduler support ---------------------------------------------------
 

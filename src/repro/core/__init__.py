@@ -24,7 +24,7 @@ Prediction (DFP, Dosovitskiy & Koltun 2017), adapted to HPC per §III:
 
 from repro.core.cnn_state import build_cnn_state_module
 from repro.core.dfp import DFPAgent, DFPConfig, DFPNetwork
-from repro.core.encoding import StateEncoder
+from repro.core.encoding import IncrementalStateEncoder, StateEncoder
 from repro.core.goal import goal_vector
 from repro.core.measurements import measurement_vector
 from repro.core.mrsch import MRSchScheduler
@@ -32,6 +32,7 @@ from repro.core.training import TrainingResult, curriculum_training, train_episo
 
 __all__ = [
     "StateEncoder",
+    "IncrementalStateEncoder",
     "goal_vector",
     "measurement_vector",
     "DFPConfig",

@@ -593,12 +593,12 @@ class DFPAgent:
 
     # -- acting ------------------------------------------------------------
 
-    def objective_weights(self, goal: np.ndarray) -> np.ndarray:
-        """Flatten goal × temporal weights to a (pred_dim,) vector.
+    def _objective_weights(self, goal: np.ndarray) -> np.ndarray:
+        """The memoised (pred_dim,) objective vector — no defensive copy.
 
-        The pursued objective is ``Σ_τ w_τ · g · Δm̂_τ`` — the dot
-        product of predicted measurement changes with the goal, weighted
-        over temporal offsets.
+        Internal fast path: the scoring calls below only *read* the
+        vector, so the per-decision copy the public accessor makes is
+        pure overhead there.
         """
         key = goal.tobytes()
         if key != self._weights_key:
@@ -606,18 +606,36 @@ class DFPAgent:
             w = np.asarray(c.temporal_weights)
             self._weights = (w[:, None] * goal[None, :]).reshape(c.pred_dim)
             self._weights_key = key
+        return self._weights
+
+    def objective_weights(self, goal: np.ndarray) -> np.ndarray:
+        """Flatten goal × temporal weights to a (pred_dim,) vector.
+
+        The pursued objective is ``Σ_τ w_τ · g · Δm̂_τ`` — the dot
+        product of predicted measurement changes with the goal, weighted
+        over temporal offsets.
+        """
         # Copy so a caller mutating the result cannot poison the cache.
-        return self._weights.copy()
+        return self._objective_weights(goal).copy()
 
     def action_scores(
         self, state: np.ndarray, measurement: np.ndarray, goal: np.ndarray
     ) -> np.ndarray:
-        """Goal-weighted predicted outcomes, one score per action."""
+        """Goal-weighted predicted outcomes, one score per action.
+
+        This is the scheduler's one-batch window scorer: the state
+        vector already carries every candidate's job block, and
+        ``forward_scores`` evaluates all ``n_actions`` slots in a
+        single fused pass (per-candidate blocks ride as rows of the
+        shared action head; the dense stream emits every action from
+        one matmul) with the objective folded into the final layer —
+        there is no per-candidate encode or per-candidate forward.
+        """
         scores = self.network.forward_scores(
             state[None, :],
             measurement[None, :],
             goal[None, :],
-            self.objective_weights(goal),
+            self._objective_weights(goal),
         )
         return scores[0]
 

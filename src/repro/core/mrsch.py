@@ -4,10 +4,13 @@ Each scheduling instance (§III):
 
 1. the **goal vector** is recomputed from the live contention via Eq. 1
    (dynamic resource prioritizing) and logged for Figs 8–9;
-2. for every selection, the window/pool state is encoded (§III-A), the
-   current measurement (per-resource utilization) is read, and the DFP
-   agent picks a window slot — ε-greedily during training, greedily by
-   goal-weighted predicted outcome at test time;
+2. for every selection, the window/pool state is encoded (§III-A) —
+   by default via the incremental encoder, which patches a persistent
+   buffer from pool dirty regions instead of rebuilding the
+   full-machine vector — the current measurement (per-resource
+   utilization) is read, and the DFP agent scores the whole window in
+   one batched pass and picks a slot — ε-greedily during training,
+   greedily by goal-weighted predicted outcome at test time;
 3. the shared base-class machinery starts fitting selections, reserves
    the first non-fitting one, and EASY-backfills (§III-C).
 
@@ -24,7 +27,7 @@ import numpy as np
 from repro.cluster.resources import SystemConfig
 from repro.core.cnn_state import build_cnn_state_module
 from repro.core.dfp import DFPAgent, DFPConfig
-from repro.core.encoding import StateEncoder
+from repro.core.encoding import IncrementalStateEncoder, StateEncoder
 from repro.core.goal import goal_vector
 from repro.core.measurements import measurement_vector
 from repro.nn.serialize import load_params, save_params
@@ -51,10 +54,18 @@ class MRSchScheduler(Scheduler):
         time_scale: float = 4 * 3600.0,
         prior_weight: float = 2.0,
         dynamic_goal: bool = True,
+        incremental_encoding: bool = True,
     ) -> None:
         super().__init__(window_size=window_size, backfill=backfill)
         self.system = system
         self.encoder = StateEncoder(system, window_size=window_size, time_scale=time_scale)
+        #: decision-state fast path: patch a persistent state buffer via
+        #: pool dirty tracking instead of rebuilding ``state_dim`` zeros
+        #: per selection. Bit-identical to ``encoder.encode`` (pinned by
+        #: tests/unit/test_encoding_incremental.py); False retains the
+        #: fresh-encode reference path.
+        self.incremental_encoding = incremental_encoding
+        self._inc_encoder = IncrementalStateEncoder(self.encoder)
         config = dfp_config or DFPConfig(
             state_dim=self.encoder.state_dim,
             n_measurements=system.n_resources,
@@ -126,7 +137,13 @@ class MRSchScheduler(Scheduler):
             self._goal = goal_vector(ctx.queue, ctx.running, self.system, ctx.now)
         self.goal_log.append((ctx.now, self._goal.copy()))
 
-    def _prior(self, window: list[Job], ctx: SchedulingContext) -> np.ndarray:
+    def _prior(
+        self,
+        window: list[Job],
+        ctx: SchedulingContext,
+        reqs: np.ndarray | None = None,
+        fits: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Feasibility/age prior over window slots.
 
         Fitting jobs score in [0.5, 1.5] (lower goal-weighted demand →
@@ -134,16 +151,26 @@ class MRSchScheduler(Scheduler):
         higher, so the reservation protects the oldest starving job).
         The class gap is wide enough that DFP scores reorder within a
         class but cannot promote a non-fitting grab over a fitting one.
+
+        ``reqs``/``fits`` are the window's request matrix and
+        feasibility vector when the caller already holds them (the
+        incremental encoder caches both as byproducts of the state
+        assembly); feasibility is then free, and otherwise collapses to
+        one matrix compare against the pool's live free-count vector —
+        the same booleans ``can_fit`` returns for validated jobs.
         """
-        names = ctx.system.names
         n = len(window)
-        reqs = np.array(
-            [[job.request(name) for name in names] for job in window], dtype=float
-        )
+        if reqs is None:
+            names = ctx.system.names
+            reqs = np.array(
+                [[job.request(name) for name in names] for job in window], dtype=float
+            )
+            fits = np.fromiter(
+                (ctx.pool.can_fit(job) for job in window), dtype=bool, count=n
+            )
+        elif fits is None:
+            fits = (reqs <= ctx.pool.free_vector()).all(axis=1)
         demand = (reqs / self._caps) @ self._goal
-        fits = np.fromiter(
-            (ctx.pool.can_fit(job) for job in window), dtype=bool, count=n
-        )
         prior = np.zeros(self.window_size)
         # Queue order = age order: the oldest non-fitting job outranks
         # younger ones by a full tie-break margin, so the reservation
@@ -162,12 +189,15 @@ class MRSchScheduler(Scheduler):
         mask: np.ndarray,
         window: list[Job],
         ctx: SchedulingContext,
+        reqs: np.ndarray | None = None,
+        fits: np.ndarray | None = None,
     ) -> int:
         """Prior-guided action: prior ranks, DFP predictions tie-break.
 
         Mirrors the agent's ε-greedy schedule during training so
         exploration statistics (and ε decay) stay identical to the
-        unguided path.
+        unguided path. The DFP contribution is the whole window scored
+        in one batched ``forward_scores`` pass over the state buffer.
         """
         agent = self.agent
         if self.training and agent._sample_rng.random() < agent.epsilon:
@@ -177,7 +207,7 @@ class MRSchScheduler(Scheduler):
             peak = float(np.abs(scores[mask]).max()) if mask.any() else 0.0
             if peak > 0:
                 scores = scores * (self._DFP_TIEBREAK_SCALE / peak)
-            prior = self._prior(window, ctx)
+            prior = self._prior(window, ctx, reqs, fits)
             combined = self.prior_weight * prior + scores
             combined = np.where(mask, combined, -np.inf)
             action = int(np.argmax(combined))
@@ -193,13 +223,29 @@ class MRSchScheduler(Scheduler):
     def select(self, window: list[Job], ctx: SchedulingContext) -> Job | None:
         if not window:
             return None
-        state = self.encoder.encode(window, ctx.pool, ctx.now)
+        if self.incremental_encoding:
+            # Patch the persistent decision buffer (bit-identical to a
+            # fresh encode); the window's raw request rows and
+            # feasibility bits come along for free and feed the prior.
+            state, reqs, fits = self._inc_encoder.encode_decision(
+                window, ctx.pool, ctx.now
+            )
+            if self.training or self.decision_recorder is not None:
+                # Training steps and traces retain the state beyond
+                # this decision; the shared buffer must not leak.
+                state = state.copy()
+        else:
+            state = self.encoder.encode(window, ctx.pool, ctx.now)
+            reqs = None
+            fits = None
         measurement = measurement_vector(ctx.pool)
         mask = self.encoder.window_mask(window)
         self._last_prior = None
         self._last_scores = None
         if self.prior_weight > 0.0:
-            action = self._guided_act(state, measurement, mask, window, ctx)
+            action = self._guided_act(
+                state, measurement, mask, window, ctx, reqs, fits
+            )
         else:
             action = self.agent.act(
                 state, measurement, self._goal, mask, explore=self.training
@@ -213,7 +259,7 @@ class MRSchScheduler(Scheduler):
                 # but a trace must still carry the prior that governs
                 # this policy's greedy rule — offline replay would
                 # otherwise score the decision with a zero prior.
-                prior = self._prior(window, ctx)
+                prior = self._prior(window, ctx, reqs, fits)
             self._last_features = {
                 "state": state,
                 "measurement": measurement,

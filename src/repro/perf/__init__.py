@@ -4,8 +4,11 @@
 machine-readable fact:
 
 * :mod:`repro.perf.hotpath` — the benchmark suite itself: a large-trace
-  FCFS replay, an MRSch training episode, and pool-accounting / DFP
-  scoring micro-benchmarks, each returning a :class:`BenchResult`;
+  FCFS replay, an MRSch training episode, pool-accounting / DFP scoring
+  micro-benchmarks, and the Theta-geometry incremental-decision
+  benchmark, each returning a :class:`BenchResult`; the registry in
+  :data:`repro.perf.hotpath.BENCHES` drives ``repro bench --list`` and
+  ``--only``;
 * :mod:`repro.perf.trajectory` — the ``BENCH_hotpath.json`` trajectory
   file: one entry per measured commit, with timings normalised by an
   on-machine calibration loop so entries from different machines remain
@@ -17,12 +20,15 @@ see the README "Performance" section.
 """
 
 from repro.perf.hotpath import (
+    BENCHES,
     BenchResult,
     bench_dfp_scoring,
     bench_fcfs_replay,
     bench_mrsch_episode,
+    bench_mrsch_theta_decision,
     bench_pool_accounting,
     calibrate,
+    list_benches,
     run_suite,
 )
 from repro.perf.trajectory import (
@@ -34,12 +40,15 @@ from repro.perf.trajectory import (
 )
 
 __all__ = [
+    "BENCHES",
     "BenchResult",
     "bench_dfp_scoring",
     "bench_fcfs_replay",
     "bench_mrsch_episode",
+    "bench_mrsch_theta_decision",
     "bench_pool_accounting",
     "calibrate",
+    "list_benches",
     "run_suite",
     "TRAJECTORY_PATH",
     "append_entry",

@@ -14,6 +14,12 @@ Each benchmark exercises one layer the replay pipeline leans on:
   (``earliest_fit_time`` / ``free_units_at`` / ``can_fit``).
 * :func:`bench_dfp_scoring` — per-decision ``forward_scores`` calls
   (the folded inference path), optionally in float32.
+* :func:`bench_mrsch_theta_decision` — per-decision MRSch state
+  maintenance at the paper's real machine geometry (4,392 nodes +
+  1,290 BB units → an 11k-element §III-A vector): a deterministic
+  §III-C-shaped decision stream replayed through the incremental
+  encoder, with the fresh-``encode`` reference timed on the identical
+  stream for the speedup claim.
 
 This module deliberately touches only long-stable public APIs
 (simulator, schedulers, pool, trace generator, DFP agent), so the very
@@ -41,7 +47,10 @@ __all__ = [
     "bench_mrsch_episode",
     "bench_pool_accounting",
     "bench_dfp_scoring",
+    "bench_mrsch_theta_decision",
     "run_suite",
+    "list_benches",
+    "BENCHES",
     "SCALES",
 ]
 
@@ -259,10 +268,17 @@ def bench_dfp_scoring(
         slot_dim=encoder.job_dim,
     )
     agent = DFPAgent(config, rng=seed)
-    applied_dtype = "float64"
     if dtype is not None and hasattr(agent, "set_inference_dtype"):
         agent.set_inference_dtype(dtype)
-        applied_dtype = dtype
+    # Report the dtype the network is *configured* with, read back from
+    # the agent — not the request. On checkouts without the reduced-
+    # precision mode a float32 request silently measures float64, and
+    # the trajectory entry must say so (the committed pr3-seed entry is
+    # exactly such a run).
+    applied_dtype = "float64"
+    network = getattr(agent, "network", None)
+    if network is not None and hasattr(network, "inference_dtype"):
+        applied_dtype = np.dtype(network.inference_dtype).name
     rng = np.random.default_rng(seed)
     pool = ResourcePool(system)
     state = rng.normal(size=encoder.state_dim)
@@ -277,9 +293,184 @@ def bench_dfp_scoring(
         name="dfp_scoring" if dtype is None else f"dfp_scoring_{dtype}",
         wall_s=wall,
         n_units=n_calls,
-        meta={"state_dim": encoder.state_dim, "window": window, "dtype": applied_dtype},
+        meta={
+            "state_dim": encoder.state_dim,
+            "window": window,
+            "dtype": applied_dtype,
+            "requested_dtype": dtype or "float64",
+        },
     )
 
+
+def bench_mrsch_theta_decision(
+    n_decisions: int = 2_000,
+    nodes: int = 4392,
+    bb_units: int = 1290,
+    window: int = 10,
+    seed: int = 13,
+) -> BenchResult:
+    """Per-decision MRSch state maintenance at full-machine geometry.
+
+    Replays a deterministic §III-C-shaped decision stream — scheduling
+    instances of several selections at one clock, allocations on
+    fitting picks, releases and a clock advance between instances —
+    and accumulates the wall time of the per-decision *state assembly*:
+    the §III-A encode plus the feasibility inputs (window request
+    matrix + fits vector) the MRSch prior consumes. Pool mutations and
+    window bookkeeping run outside the timer, identically for both
+    paths. ``wall_s`` measures the incremental pipeline (what the MRSch
+    scheduler ships with); the fresh-``encode`` reference — a fresh
+    ``StateEncoder.encode`` plus per-job request extraction and
+    ``can_fit`` probes, the pre-incremental ``select`` data path — is
+    timed on the *identical* stream and reported in ``meta`` together
+    with the speedup and a final-state equality check. On checkouts
+    predating the incremental encoder the reference path is what gets
+    measured (``meta.encoder`` says which).
+
+    DFP scoring cost is deliberately excluded — ``bench_dfp_scoring``
+    owns it; this benchmark isolates the per-decision state-maintenance
+    term the ROADMAP's full-machine-scale open item named.
+    """
+    from repro.cluster.resources import ResourcePool, SystemConfig
+    from repro.core.encoding import StateEncoder
+    from repro.workload.job import Job
+
+    try:
+        from repro.core.encoding import IncrementalStateEncoder
+    except ImportError:  # pre-PR-5 checkout: measure the reference path
+        IncrementalStateEncoder = None
+
+    system = SystemConfig.mini_theta(nodes=nodes, bb_units=bb_units)
+    names = system.names
+
+    def make_jobs() -> list[Job]:
+        rng = np.random.default_rng(seed)
+        return [
+            Job(
+                job_id=i,
+                submit_time=float(rng.integers(0, 50_000)),
+                runtime=float(rng.integers(300, 40_000)),
+                walltime=float(rng.integers(40_000, 90_000)),
+                requests={
+                    "node": int(rng.integers(1, max(2, nodes // 8))),
+                    "burst_buffer": int(rng.integers(0, max(1, bb_units // 8))),
+                },
+            )
+            for i in range(256)
+        ]
+
+    def fresh_decide(encoder):
+        def decide(pending, pool, now):
+            state = encoder.encode(pending, pool, now)
+            reqs = np.array(
+                [[job.request(name) for name in names] for job in pending],
+                dtype=float,
+            )
+            fits = np.fromiter(
+                (pool.can_fit(job) for job in pending), dtype=bool, count=len(pending)
+            )
+            return state, reqs, fits
+
+        return decide
+
+    def incremental_decide(encoder):
+        return encoder.encode_decision
+
+    def replay(decide) -> tuple[float, np.ndarray]:
+        """Drive the decision stream; returns (Σ decision wall, final state).
+
+        The waiting queue is FIFO, as in the simulator: the window is
+        the queue head, a start removes its job (later slots shift up),
+        and completed jobs re-enter at the *tail* as recycled arrivals
+        so the stream never drains.
+        """
+        rng = np.random.default_rng(seed + 1)
+        queue = make_jobs()
+        pool = ResourcePool(system)
+        active: list[tuple[float, Job]] = []
+        now = 0.0
+        wall = 0.0
+        decisions = 0
+        state = None
+        while decisions < n_decisions:
+            now += float(rng.integers(30, 3_000))
+            for end, job in [pair for pair in active if pair[0] <= now]:
+                pool.release(job)
+                active.remove((end, job))
+                queue.append(job)
+            selections = 1 + int(rng.integers(0, 4))
+            for _ in range(selections):
+                pending = queue[:window]
+                if not pending:
+                    break
+                t0 = time.perf_counter()
+                state, _, fits = decide(pending, pool, now)
+                wall += time.perf_counter() - t0
+                decisions += 1
+                started = np.flatnonzero(fits)
+                if started.size:
+                    job = pending[int(started[0])]
+                    pool.allocate(job, now)
+                    active.append((now + job.runtime, job))
+                    queue.remove(job)
+                if decisions >= n_decisions:
+                    break
+        return wall, np.array(state, dtype=float, copy=True)
+
+    reference = StateEncoder(system, window_size=window)
+    wall_ref, state_ref = replay(fresh_decide(reference))
+    meta = {
+        "nodes": nodes,
+        "bb_units": bb_units,
+        "window": window,
+        "state_dim": reference.state_dim,
+    }
+    if IncrementalStateEncoder is None:
+        meta["encoder"] = "fresh"
+        wall = wall_ref
+    else:
+        incremental = IncrementalStateEncoder(StateEncoder(system, window_size=window))
+        wall, state_inc = replay(incremental_decide(incremental))
+        meta.update(
+            encoder="incremental",
+            reference_wall_s=wall_ref,
+            speedup_vs_fresh=wall_ref / wall if wall > 0 else float("inf"),
+            bit_identical=bool(np.array_equal(state_ref, state_inc)),
+        )
+    return BenchResult(
+        name="mrsch_theta_decision",
+        wall_s=wall,
+        n_units=n_decisions,
+        meta=meta,
+    )
+
+
+#: the suite's benchmarks, in run order: name → (callable, one-line
+#: description). ``repro bench --list`` and ``--only`` are driven from
+#: this registry, so adding a benchmark here is all a future perf PR
+#: needs to do.
+BENCHES: dict[str, tuple] = {
+    "fcfs_replay": (
+        bench_fcfs_replay,
+        "end-to-end saturated FCFS+EASY replay (scheduler-loop scaling)",
+    ),
+    "mrsch_episode": (
+        bench_mrsch_episode,
+        "one MRSch training episode: rollout + replay training epoch",
+    ),
+    "pool_accounting": (
+        bench_pool_accounting,
+        "pool allocate/release churn + EASY order-statistic queries",
+    ),
+    "dfp_scoring": (
+        bench_dfp_scoring,
+        "per-decision folded DFP inference (plus a float32 variant)",
+    ),
+    "mrsch_theta_decision": (
+        bench_mrsch_theta_decision,
+        "incremental vs fresh per-decision state encoding at Theta geometry",
+    ),
+}
 
 #: benchmark sizings: "full" demonstrates the paper-scale claims,
 #: "smoke" finishes in seconds for the CI fast lane
@@ -289,27 +480,53 @@ SCALES: dict[str, dict] = {
         "mrsch_episode": {"n_jobs": 2_500, "mean_interarrival": 110.0},
         "pool_accounting": {"n_rounds": 2_000},
         "dfp_scoring": {"n_calls": 2_000},
+        "mrsch_theta_decision": {"n_decisions": 2_000, "nodes": 4392, "bb_units": 1290},
     },
     "smoke": {
         "fcfs_replay": {"n_jobs": 1_500, "mean_interarrival": 70.0},
         "mrsch_episode": {"n_jobs": 250, "mean_interarrival": 150.0},
         "pool_accounting": {"n_rounds": 300},
         "dfp_scoring": {"n_calls": 300},
+        "mrsch_theta_decision": {"n_decisions": 300, "nodes": 256, "bb_units": 128},
     },
 }
 
 
-def run_suite(scale: str = "full", float32: bool = True) -> dict[str, BenchResult]:
-    """Run every hot-path benchmark at ``scale``; keyed by name."""
+def list_benches() -> list[dict]:
+    """Name, description and per-scale sizing of every benchmark."""
+    return [
+        {
+            "name": name,
+            "description": description,
+            "sizes": {scale: dict(SCALES[scale].get(name, {})) for scale in SCALES},
+        }
+        for name, (_, description) in BENCHES.items()
+    ]
+
+
+def run_suite(
+    scale: str = "full",
+    float32: bool = True,
+    only: list[str] | None = None,
+) -> dict[str, BenchResult]:
+    """Run the hot-path benchmarks at ``scale``; keyed by name.
+
+    ``only`` restricts the run to a subset of :data:`BENCHES` (the
+    float32 scoring variant rides with ``dfp_scoring``).
+    """
     if scale not in SCALES:
         raise ValueError(f"unknown bench scale {scale!r}; choose from {sorted(SCALES)}")
+    names = list(BENCHES) if only is None else list(only)
+    unknown = sorted(set(names) - set(BENCHES))
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s) {unknown}; choose from {sorted(BENCHES)}"
+        )
     sizes = SCALES[scale]
-    results = [
-        bench_fcfs_replay(**sizes["fcfs_replay"]),
-        bench_mrsch_episode(**sizes["mrsch_episode"]),
-        bench_pool_accounting(**sizes["pool_accounting"]),
-        bench_dfp_scoring(**sizes["dfp_scoring"]),
-    ]
-    results.append(bench_dfp_scoring(**sizes["dfp_scoring"], dtype="float32")
-                   if float32 else None)
-    return {r.name: r for r in results if r is not None}
+    results: list[BenchResult] = []
+    for name in names:
+        func = BENCHES[name][0]
+        results.append(func(**sizes.get(name, {})))
+        if name == "dfp_scoring" and float32:
+            results.append(bench_dfp_scoring(**sizes.get(name, {}), dtype="float32"))
+    return {r.name: r for r in results}

@@ -156,8 +156,12 @@ def format_entry(entry: dict) -> str:
         f"  {'benchmark':<22} {'wall s':>10} {'per unit ms':>12} {'normalized':>11}",
     ]
     for name, r in sorted(entry.get("results", {}).items()):
-        lines.append(
+        line = (
             f"  {name:<22} {r['wall_s']:>10.3f} {r['per_unit_ms']:>12.4f} "
             f"{r['normalized']:>11.3f}"
         )
+        speedup = r.get("meta", {}).get("speedup_vs_fresh")
+        if speedup is not None:
+            line += f"  ({speedup:.1f}x vs fresh encode)"
+        lines.append(line)
     return "\n".join(lines)

@@ -23,8 +23,23 @@ the simulator supplies — additionally enables the incremental hot path:
 O(window) window extraction instead of per-selection queue re-filters,
 O(1) dequeues instead of ``list.remove`` shifts, and a vectorized EASY
 pass over the queue's columnar request arrays instead of per-candidate
-``can_fit`` calls. Both paths make identical decisions; the golden
-FCFS-metrics test holds the fast path to the reference bit for bit.
+``can_fit`` calls. The two queue forms make identical decisions for
+the heuristic schedulers — the golden FCFS-metrics test holds the fast
+path to the reference bit for bit. One caveat for MRSch under
+``dynamic_goal``: the queue's vectorized Eq.-1 contention totals sum
+in a different float order than the plain-list loop (~1e-15 relative
+goal drift, see :mod:`repro.core.goal` and the ROADMAP open item), so
+an exact score tie could in principle resolve differently between the
+two forms.
+
+Policies that maintain *incremental per-decision state* (MRSch's
+persistent state buffer, fed by pool dirty trackers) rely on one
+invariant of this loop: every pool mutation between two ``select``
+calls — the ``ctx.start`` allocation behind a fitting selection, the
+simulator's releases and resets between instances — goes through
+``ResourcePool.allocate``/``release``/``reset``, so registered
+trackers observe the exact unit regions that changed. Nothing in the
+selection/backfill machinery touches pool unit state directly.
 """
 
 from __future__ import annotations
@@ -64,12 +79,20 @@ class SchedulingContext:
     def window(self, size: int) -> list[Job]:
         """The first ``size`` waiting (unstarted) jobs, queue order.
 
-        O(size) on a :class:`JobQueue`; a full filter on plain lists.
+        O(size) on a :class:`JobQueue`; on plain lists the scan stops
+        as soon as ``size`` waiting jobs are found instead of filtering
+        the whole queue per selection.
         """
         queue = self.queue
         if isinstance(queue, JobQueue):
             return queue.window(size)
-        return [j for j in queue if not j.started][:size]
+        out: list[Job] = []
+        for job in queue:
+            if not job.started:
+                out.append(job)
+                if len(out) == size:
+                    break
+        return out
 
 
 class Scheduler(ABC):

@@ -12,10 +12,13 @@ import json
 import pytest
 
 from repro.perf.hotpath import (
+    BENCHES,
     BenchResult,
     bench_dfp_scoring,
     bench_fcfs_replay,
+    bench_mrsch_theta_decision,
     bench_pool_accounting,
+    list_benches,
     run_suite,
 )
 from repro.perf.trajectory import (
@@ -53,12 +56,46 @@ class TestBenchmarks:
         base = bench_dfp_scoring(n_calls=5, nodes=32, bb_units=16)
         fast = bench_dfp_scoring(n_calls=5, nodes=32, bb_units=16, dtype="float32")
         assert base.meta["dtype"] == "float64"
+        assert base.meta["requested_dtype"] == "float64"
+        # The applied dtype is read back from the configured network —
+        # not echoed from the request (satellite fix: a float32 request
+        # on a checkout without the mode must not claim float32).
         assert fast.meta["dtype"] == "float32"
+        assert fast.meta["requested_dtype"] == "float32"
         assert fast.name == "dfp_scoring_float32"
+
+    def test_mrsch_theta_decision_tiny(self):
+        result = bench_mrsch_theta_decision(n_decisions=40, nodes=48, bb_units=24)
+        assert result.name == "mrsch_theta_decision"
+        assert result.n_units == 40 and result.wall_s > 0
+        assert result.meta["encoder"] == "incremental"
+        assert result.meta["bit_identical"] is True
+        assert result.meta["reference_wall_s"] > 0
+        assert result.meta["speedup_vs_fresh"] == pytest.approx(
+            result.meta["reference_wall_s"] / result.wall_s
+        )
 
     def test_run_suite_rejects_unknown_scale(self):
         with pytest.raises(ValueError, match="unknown bench scale"):
             run_suite(scale="galactic")
+
+    def test_run_suite_only_selection(self):
+        results = run_suite(scale="smoke", only=["pool_accounting"])
+        assert set(results) == {"pool_accounting"}
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_suite(scale="smoke", only=["pool_accounting", "nope"])
+
+    def test_registry_and_listing_cover_every_bench(self):
+        listed = {entry["name"] for entry in list_benches()}
+        assert listed == set(BENCHES)
+        assert "mrsch_theta_decision" in listed
+        theta = next(
+            entry for entry in list_benches()
+            if entry["name"] == "mrsch_theta_decision"
+        )
+        assert theta["sizes"]["full"]["nodes"] == 4392
+        assert theta["sizes"]["full"]["bb_units"] == 1290
+        assert theta["sizes"]["smoke"]["nodes"] < 4392  # CI stays fast
 
 
 class TestTrajectory:
@@ -132,3 +169,15 @@ class TestTrajectory:
     def test_format_entry_is_readable(self):
         text = format_entry(make_entry("x", tiny_results(), 0.1, commit="abc"))
         assert "fcfs_replay" in text and "normalized" in text
+
+    def test_format_entry_shows_decision_speedup(self):
+        results = {
+            "mrsch_theta_decision": BenchResult(
+                "mrsch_theta_decision",
+                wall_s=0.1,
+                n_units=100,
+                meta={"speedup_vs_fresh": 2.87},
+            )
+        }
+        text = format_entry(make_entry("x", results, 0.1))
+        assert "2.9x vs fresh encode" in text
