@@ -30,9 +30,14 @@ names).
 
 Note on process pools: registrations made at runtime are inherited by
 ``fork``-started workers (the default on Linux) but not by ``spawn``
-workers — plugin modules should register at import time and be imported
-in the worker (e.g. via the scheduler factory living in an importable
-module) when running spawn-based grids.
+workers, which start from a fresh interpreter. Plugins therefore
+register at import time in an importable module;
+:func:`registration_modules` lists the modules behind the current
+registrations and :func:`import_plugin_modules` re-imports them inside
+a worker — :class:`~repro.exp.runner.ExperimentRunner` wires the pair
+through its pool initializer, so spawn-based grids resolve plugins
+exactly like fork-based ones. Components registered from ``__main__``
+cannot be re-imported by name and remain fork-only.
 """
 
 from __future__ import annotations
@@ -52,6 +57,8 @@ __all__ = [
     "register_scheduler",
     "register_workload",
     "register_system",
+    "registration_modules",
+    "import_plugin_modules",
     "paper_methods",
     "paper_workloads",
 ]
@@ -275,6 +282,44 @@ def _load_builtins() -> None:
     finally:
         _builtins_loading = False
     _builtins_loaded = True
+
+
+# -- spawn-safe plugin shipping -----------------------------------------------
+
+
+def registration_modules() -> tuple[str, ...]:
+    """Importable modules behind the current plugin registrations.
+
+    Derived from each entry's factory/builder ``__module__``; library
+    builtins (re-created by the lazy ``_load_builtins`` in any process)
+    and ``__main__`` registrations (not importable by name in a spawn
+    worker) are excluded. Importing every listed module re-creates the
+    runtime registrations, which is exactly what a ``spawn``-started
+    worker needs before it resolves plugin names.
+    """
+    modules: set[str] = set()
+    for registry in (SCHEDULERS, WORKLOADS, SYSTEMS):
+        for entry in registry.entries():
+            obj = getattr(entry, "factory", None) or getattr(entry, "builder", None)
+            module = getattr(obj, "__module__", None)
+            if not module or module == "__main__" or module.startswith("repro."):
+                continue
+            modules.add(module)
+    return tuple(sorted(modules))
+
+
+def import_plugin_modules(modules: tuple[str, ...]) -> None:
+    """Process-pool initializer: re-create registrations in a worker.
+
+    Under ``fork`` the modules are already imported and each import is
+    a cached no-op; under ``spawn`` the fresh interpreter executes each
+    module, whose import-time ``@register_*`` decorators re-register
+    the plugins.
+    """
+    import importlib
+
+    for module in modules:
+        importlib.import_module(module)
 
 
 # -- decorators --------------------------------------------------------------

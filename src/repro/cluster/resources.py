@@ -388,6 +388,50 @@ class ResourcePool:
         for tracker in self._trackers:
             tracker.mark_all()
 
+    # -- snapshot / restore ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A self-contained copy of the pool's allocation state.
+
+        Captures the per-unit arrays, free counters and the allocation
+        map; the pool object itself (and its registered trackers /
+        encoder attachments, which bind by identity) is not part of the
+        snapshot, so :meth:`restore` can bring *this* pool back without
+        disturbing those bindings.
+        """
+        return {
+            "busy": {n: self._busy[n].copy() for n in self._names},
+            "est_free": {n: self._est_free[n].copy() for n in self._names},
+            "free": dict(self._free),
+            "free_arr": self._free_arr.copy(),
+            "allocations": {
+                jid: {n: idx.copy() for n, idx in grant.items()}
+                for jid, grant in self._allocations.items()
+            },
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Restore state captured by :meth:`snapshot`, in place.
+
+        The live unit arrays are overwritten rather than rebound so
+        consumers holding views (the incremental encoder attaches to
+        this pool by identity) stay valid; every registered tracker is
+        degraded to a full rebuild because the patch history no longer
+        describes the restored arrays.
+        """
+        for name in self._names:
+            self._busy[name][...] = snap["busy"][name]
+            self._est_free[name][...] = snap["est_free"][name]
+            self._sorted_busy[name] = None
+        self._free = dict(snap["free"])
+        self._free_arr[...] = snap["free_arr"]
+        self._allocations = {
+            jid: {n: idx.copy() for n, idx in grant.items()}
+            for jid, grant in snap["allocations"].items()
+        }
+        for tracker in self._trackers:
+            tracker.mark_all()
+
     # -- scheduler support ---------------------------------------------------
 
     def unit_state(self, name: str, now: float) -> tuple[np.ndarray, np.ndarray]:

@@ -34,12 +34,19 @@ def contention_terms(
 ) -> np.ndarray:
     """Unnormalised per-resource drain times ``Σ_i P_ij · t_i``.
 
-    When ``queued`` is the simulator's
-    :class:`~repro.sched.jobqueue.JobQueue` the queued-job sum is one
-    matrix-vector product over its columnar request/walltime arrays
-    (same terms, vector summation order) — this runs every scheduling
-    instance under dynamic prioritizing, so a Python loop over a deep
-    queue would dominate an MRSch replay.
+    Both halves are one columnar matrix-vector product each,
+    ``(P / caps).T @ t`` over rows in queue/start order — this runs
+    every scheduling instance under dynamic prioritizing, so a Python
+    loop over a deep queue would dominate an MRSch replay. The shared
+    convention also makes the result *bit*-identical between the plain
+    ``list`` queue form and the simulator's
+    :class:`~repro.sched.jobqueue.JobQueue` (whose
+    ``contention_totals`` evaluates the identical product over its
+    columnar arrays): the historical per-job running-half loop summed
+    in a different float order, which let an exact score tie resolve
+    differently between queue forms (~1e-15 relative goal drift, since
+    resolved; the bound vs the per-job reference order is pinned by a
+    hypothesis property in tests/unit/test_goal.py).
     """
     from repro.sched.jobqueue import JobQueue  # late: avoids an import cycle
 
@@ -48,17 +55,33 @@ def contention_terms(
     if isinstance(queued, JobQueue) and list(queued.names) == names:
         totals = queued.contention_totals(caps)
     else:
-        totals = np.zeros(len(names))
-        for job in queued:
-            req = np.array([job.request(n) for n in names], dtype=float)
-            totals += (req / caps) * job.walltime
-    for job in running:
-        if job.start_time is None:
-            raise ValueError(f"running job {job.job_id} has no start time")
-        remaining = max(job.walltime - (now - job.start_time), 0.0)
-        req = np.array([job.request(n) for n in names], dtype=float)
-        totals += (req / caps) * remaining
-    return totals
+        totals = _columnar_terms(queued, names, caps, None, now)
+    return totals + _columnar_terms(running, names, caps, "remaining", now)
+
+
+def _columnar_terms(
+    jobs, names: list[str], caps: np.ndarray, time_kind: str | None, now: float
+) -> np.ndarray:
+    """``(P / caps).T @ t`` over ``jobs`` in iteration order.
+
+    ``time_kind`` selects ``t``: ``None`` uses the full walltime
+    estimate (queued jobs), ``"remaining"`` the clamped remaining
+    estimate ``max(walltime − (now − start), 0)`` (running jobs).
+    """
+    rows = []
+    t = []
+    for job in jobs:
+        if time_kind == "remaining":
+            if job.start_time is None:
+                raise ValueError(f"running job {job.job_id} has no start time")
+            t.append(max(job.walltime - (now - job.start_time), 0.0))
+        else:
+            t.append(job.walltime)
+        rows.append([job.request(n) for n in names])
+    if not rows:
+        return np.zeros(len(names))
+    mat = np.asarray(rows, dtype=float)
+    return (mat / caps).T @ np.asarray(t)
 
 
 def goal_vector(

@@ -31,7 +31,7 @@ from repro.core.encoding import IncrementalStateEncoder, StateEncoder
 from repro.core.goal import goal_vector
 from repro.core.measurements import measurement_vector
 from repro.nn.serialize import load_params, save_params
-from repro.sched.base import Scheduler, SchedulingContext
+from repro.sched.base import DecisionInputs, Scheduler, SchedulingContext
 from repro.workload.job import Job
 
 __all__ = ["MRSchScheduler"]
@@ -123,6 +123,10 @@ class MRSchScheduler(Scheduler):
         self._last_features: dict | None = None
         self._last_prior: np.ndarray | None = None
         self._last_scores: np.ndarray | None = None
+        #: per-decision context staged by prepare_decision for
+        #: apply_decision: (state, measurement, mask, reqs, fits,
+        #: explore_action)
+        self._pending: tuple | None = None
 
     # -- scheduler hooks ---------------------------------------------------
 
@@ -182,47 +186,19 @@ class MRSchScheduler(Scheduler):
     #: enough to reorder near-ties, never enough to cross prior ranks
     _DFP_TIEBREAK_SCALE = 0.02
 
-    def _guided_act(
-        self,
-        state: np.ndarray,
-        measurement: np.ndarray,
-        mask: np.ndarray,
-        window: list[Job],
-        ctx: SchedulingContext,
-        reqs: np.ndarray | None = None,
-        fits: np.ndarray | None = None,
-    ) -> int:
-        """Prior-guided action: prior ranks, DFP predictions tie-break.
+    # -- split decision protocol -------------------------------------------
+    #
+    # select() = prepare_decision → score_decision → apply_decision. The
+    # split exists so the batched lockstep driver can stack many
+    # episodes' prepared inputs into ONE ``action_scores_batch`` call
+    # and feed each episode its score row; run sequentially, the three
+    # stages reproduce the monolithic select exactly — including the
+    # ε-greedy RNG stream (one ``random()`` draw per training decision,
+    # one ``choice`` draw on exploration, ε decay after the action).
 
-        Mirrors the agent's ε-greedy schedule during training so
-        exploration statistics (and ε decay) stay identical to the
-        unguided path. The DFP contribution is the whole window scored
-        in one batched ``forward_scores`` pass over the state buffer.
-        """
-        agent = self.agent
-        if self.training and agent._sample_rng.random() < agent.epsilon:
-            action = int(agent._sample_rng.choice(np.flatnonzero(mask)))
-        else:
-            scores = agent.action_scores(state, measurement, self._goal)
-            peak = float(np.abs(scores[mask]).max()) if mask.any() else 0.0
-            if peak > 0:
-                scores = scores * (self._DFP_TIEBREAK_SCALE / peak)
-            prior = self._prior(window, ctx, reqs, fits)
-            combined = self.prior_weight * prior + scores
-            combined = np.where(mask, combined, -np.inf)
-            action = int(np.argmax(combined))
-            self._last_prior = prior
-            self._last_scores = combined
-        if self.training:
-            agent.epsilon = max(
-                agent.config.epsilon_min,
-                agent.epsilon * agent.config.epsilon_decay,
-            )
-        return action
-
-    def select(self, window: list[Job], ctx: SchedulingContext) -> Job | None:
-        if not window:
-            return None
+    def prepare_decision(
+        self, window: list[Job], ctx: SchedulingContext
+    ) -> DecisionInputs:
         if self.incremental_encoding:
             # Patch the persistent decision buffer (bit-identical to a
             # fresh encode); the window's raw request rows and
@@ -242,13 +218,52 @@ class MRSchScheduler(Scheduler):
         mask = self.encoder.window_mask(window)
         self._last_prior = None
         self._last_scores = None
-        if self.prior_weight > 0.0:
-            action = self._guided_act(
-                state, measurement, mask, window, ctx, reqs, fits
-            )
+        agent = self.agent
+        explore_action: int | None = None
+        if self.training and agent._sample_rng.random() < agent.epsilon:
+            explore_action = int(agent._sample_rng.choice(np.flatnonzero(mask)))
+        self._pending = (state, measurement, mask, reqs, fits, explore_action)
+        return DecisionInputs(
+            state=state,
+            measurement=measurement,
+            goal=self._goal,
+            needs_scores=explore_action is None,
+        )
+
+    def score_decision(self, inputs: DecisionInputs) -> np.ndarray:
+        """Single-decision scoring (the B=1 path of the batch scorer)."""
+        return self.agent.action_scores(inputs.state, inputs.measurement, inputs.goal)
+
+    def apply_decision(
+        self, window: list[Job], ctx: SchedulingContext, scores: np.ndarray | None
+    ) -> Job | None:
+        assert self._pending is not None, "apply_decision without prepare_decision"
+        state, measurement, mask, reqs, fits, explore_action = self._pending
+        self._pending = None
+        agent = self.agent
+        if explore_action is not None:
+            action = explore_action
+        elif self.prior_weight > 0.0:
+            # Prior-guided greedy rule: prior ranks, DFP predictions
+            # tie-break (normalised so they reorder near-ties but never
+            # cross prior ranks).
+            assert scores is not None
+            peak = float(np.abs(scores[mask]).max()) if mask.any() else 0.0
+            if peak > 0:
+                scores = scores * (self._DFP_TIEBREAK_SCALE / peak)
+            prior = self._prior(window, ctx, reqs, fits)
+            combined = self.prior_weight * prior + scores
+            combined = np.where(mask, combined, -np.inf)
+            action = int(np.argmax(combined))
+            self._last_prior = prior
+            self._last_scores = combined
         else:
-            action = self.agent.act(
-                state, measurement, self._goal, mask, explore=self.training
+            assert scores is not None
+            action = int(np.argmax(np.where(mask, scores, -np.inf)))
+        if self.training:
+            agent.epsilon = max(
+                agent.config.epsilon_min,
+                agent.epsilon * agent.config.epsilon_decay,
             )
         if self.decision_recorder is not None:
             # Assembled only while tracing so the untraced hot path stays
@@ -276,6 +291,40 @@ class MRSchScheduler(Scheduler):
             )
             self._measurements.append(measurement)
         return job
+
+    def select(self, window: list[Job], ctx: SchedulingContext) -> Job | None:
+        if not window:
+            return None
+        inputs = self.prepare_decision(window, ctx)
+        scores = self.score_decision(inputs) if inputs.needs_scores else None
+        return self.apply_decision(window, ctx, scores)
+
+    def batch_scorer(self):
+        """Stacked scoring via the shared agent's batched forward pass."""
+        return (self.agent, self.agent.action_scores_batch)
+
+    def lockstep_clone(self) -> "MRSchScheduler":
+        """A scheduler for one more lockstep episode, sharing the agent.
+
+        The clone owns its own encoder buffers, goal state and episode
+        bookkeeping but scores through the *same* agent (weights,
+        workspaces, ε state) — which is exactly what the batched driver
+        needs: per-episode mutable state apart, one network.
+        """
+        clone = MRSchScheduler(
+            self.system,
+            window_size=self.window_size,
+            backfill=self.backfill_enabled,
+            dfp_config=self.agent.config,
+            state_module=self.state_module,
+            agent=self.agent,
+            time_scale=self.encoder.time_scale,
+            prior_weight=self.prior_weight,
+            dynamic_goal=self.dynamic_goal,
+            incremental_encoding=self.incremental_encoding,
+        )
+        clone.training = self.training
+        return clone
 
     def decision_features(self, window: list[Job], ctx: SchedulingContext) -> dict | None:
         """The exact inputs/outputs the last :meth:`select` decided on.

@@ -59,14 +59,31 @@ def train_episodes(
     system: SystemConfig,
     phase: str = "train",
     result: TrainingResult | None = None,
+    batch_episodes: int = 1,
 ) -> TrainingResult:
     """Run one training episode per job set and learn after each.
 
     The scheduler is left in inference mode (``training = False``) when
     done. Passing an existing ``result`` appends, so phases chain.
+
+    ``batch_episodes > 1`` collects that many episodes concurrently in
+    lockstep (one batched network call per macro-step via
+    :class:`~repro.sim.batched.BatchedSimulator`, each lane a
+    ``lockstep_clone`` sharing the agent), then learns from them in
+    jobset order. Collection within a group is *synchronous*: every
+    lane rolls out under the same pre-group weights, and replay updates
+    run after the whole group — the A2C-style batched-rollout regime,
+    not a bit-identical replay of the sequential schedule (the shared
+    ε-greedy stream interleaves across lanes). Loss/ε trajectories keep
+    one entry per jobset either way.
     """
     _check_trainable(scheduler)
     result = result or TrainingResult()
+    batch = max(1, int(batch_episodes))
+    if batch > 1:
+        return _train_episodes_lockstep(
+            scheduler, jobsets, system, phase, result, batch
+        )
     sim = Simulator(system, scheduler, record_timeline=False)
     try:
         scheduler.training = True  # type: ignore[attr-defined]
@@ -78,6 +95,49 @@ def train_episodes(
             result.phases.append(phase)
             epsilon = getattr(getattr(scheduler, "agent", None), "epsilon", np.nan)
             result.epsilons.append(float(epsilon))
+    finally:
+        scheduler.training = False  # type: ignore[attr-defined]
+    return result
+
+
+def _train_episodes_lockstep(
+    scheduler: Scheduler,
+    jobsets: list[list[Job]],
+    system: SystemConfig,
+    phase: str,
+    result: TrainingResult,
+    batch: int,
+) -> TrainingResult:
+    """Group jobsets into lockstep batches; learn after each group."""
+    from repro.sim.batched import BatchedSimulator
+
+    try:
+        scheduler.training = True  # type: ignore[attr-defined]
+        lanes: list[Scheduler] = [scheduler]
+        for _ in range(min(batch, len(jobsets)) - 1):
+            clone = scheduler.lockstep_clone()
+            if clone is None:
+                raise ValueError(
+                    f"{scheduler.name} does not support lockstep episode "
+                    "collection (no lockstep_clone); use batch_episodes=1"
+                )
+            _check_trainable(clone)
+            lanes.append(clone)
+        for i in range(0, len(jobsets), batch):
+            chunk = jobsets[i : i + batch]
+            group = lanes[: len(chunk)]
+            for lane in group:
+                lane.start_episode()  # type: ignore[attr-defined]
+            if len(chunk) == 1:
+                Simulator(system, group[0], record_timeline=False).run(chunk[0])
+            else:
+                BatchedSimulator(system, group, record_timeline=False).run(chunk)
+            for lane in group:
+                loss = lane.finish_episode()  # type: ignore[attr-defined]
+                result.losses.append(loss)
+                result.phases.append(phase)
+                epsilon = getattr(getattr(scheduler, "agent", None), "epsilon", np.nan)
+                result.epsilons.append(float(epsilon))
     finally:
         scheduler.training = False  # type: ignore[attr-defined]
     return result

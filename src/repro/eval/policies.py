@@ -253,7 +253,7 @@ class DFPReplayPolicy:
             if self.tiebreak is not None
             else float(trace.meta.get("dfp_tiebreak", 0.0))
         )
-        # Mirror MRSchScheduler._guided_act row by row: normalise the
+        # Mirror MRSchScheduler.apply_decision row by row: normalise the
         # DFP contribution by the per-decision peak magnitude over valid
         # slots (rows with a zero peak stay unscaled, as live), then add
         # the weighted prior and mask invalid slots to -inf.

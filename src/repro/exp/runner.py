@@ -145,6 +145,15 @@ class ExperimentRunner:
         result of a trace-capturing task is only honoured when every
         trace it recorded still exists in this store — otherwise the
         cell re-executes and re-records.
+    batch_episodes:
+        Lockstep batch width for each cell's evaluation replays (see
+        :func:`~repro.exp.tasks.execute_task`). Orthogonal to
+        ``n_workers``: the pool fans *cells* out across processes,
+        while ``batch_episodes`` batches the *workload episodes inside
+        one cell* into shared network calls — combine both to use many
+        cores and amortize network dispatch at the same time. Pure
+        execution knob: metric values, cache keys and checkpoints are
+        identical to the sequential path.
     """
 
     def __init__(
@@ -155,6 +164,7 @@ class ExperimentRunner:
         mp_start_method: str | None = None,
         trace_dir: str | os.PathLike | None = None,
         trace_compact: bool = False,
+        batch_episodes: int = 1,
     ) -> None:
         if n_workers is None:
             n_workers = os.cpu_count() or 1
@@ -172,6 +182,9 @@ class ExperimentRunner:
                 "fork" if sys.platform.startswith("linux") else "spawn"
             )
         self.mp_start_method = mp_start_method
+        if batch_episodes < 1:
+            raise ValueError("batch_episodes must be >= 1")
+        self.batch_episodes = batch_episodes
         #: keys already present in the journal during the current run()
         self._journaled_keys: set[str] = set()
 
@@ -251,7 +264,10 @@ class ExperimentRunner:
             if self.n_workers == 1 or len(pending) == 1:
                 for key, task in pending.items():
                     self._record(
-                        resolved, execute_task(task, trace_dir, self.trace_compact)
+                        resolved,
+                        execute_task(
+                            task, trace_dir, self.trace_compact, self.batch_episodes
+                        ),
                     )
             else:
                 self._run_pool(pending, resolved, trace_dir)
@@ -308,11 +324,29 @@ class ExperimentRunner:
         resolved: dict[str, TaskResult],
         trace_dir: str | None = None,
     ) -> None:
+        # Ship the plugin registration modules through the pool
+        # initializer: fork workers inherit runtime registrations anyway
+        # (re-import is a cached no-op), spawn workers start from a fresh
+        # interpreter and would otherwise fail to resolve any
+        # @register_*'d component (the registry-module note).
+        from repro.api.registry import import_plugin_modules, registration_modules
+
         context = multiprocessing.get_context(self.mp_start_method)
         workers = min(self.n_workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=import_plugin_modules,
+            initargs=(registration_modules(),),
+        ) as pool:
             futures = {
-                pool.submit(execute_task, task, trace_dir, self.trace_compact)
+                pool.submit(
+                    execute_task,
+                    task,
+                    trace_dir,
+                    self.trace_compact,
+                    self.batch_episodes,
+                )
                 for task in pending.values()
             }
             # Drain as results land so the checkpoint journal always

@@ -32,6 +32,7 @@ def execute_task(
     task: ExperimentTask,
     trace_dir: "str | os.PathLike | None" = None,
     trace_compact: bool = False,
+    batch_episodes: int = 1,
 ) -> TaskResult:
     """Run one grid cell: build, (optionally) train, evaluate in order.
 
@@ -43,6 +44,18 @@ def execute_task(
     ``trace_compact`` stores recorded decision traces as float32 (see
     :meth:`repro.eval.trace.DecisionTrace.save`); it affects storage
     fidelity only, never the simulated decisions.
+
+    ``batch_episodes > 1`` evaluates the cell's workloads in lockstep
+    groups of that size through
+    :class:`~repro.sim.batched.BatchedSimulator`, one batched network
+    call per macro-step instead of one per decision. This is an
+    execution knob, not part of the task identity: it is only engaged
+    for policies that declare lockstep cloning safe
+    (:meth:`~repro.sched.base.Scheduler.lockstep_clone`), whose
+    evaluation replays are RNG-free — every metric value is identical
+    to the sequential path, so cache keys and checkpoints are shared
+    either way. Trace-capturing cells always run sequentially (the
+    trace recorder is a per-scheduler attachment).
     """
     # Imported lazily: repro.experiments.harness imports the runner, and
     # worker processes should only pay for what the task touches.
@@ -82,21 +95,47 @@ def execute_task(
     task_key = task.key()
     trace_keys: list[str] = []
     metrics = {}
-    for workload in task.workloads:
+
+    def build_jobs(workload):
         if task.case_study:
             jobs, _ = build_case_study_workload(workload, base, system, seed=config.seed)
-        else:
-            jobs = build_workload(workload, base, eval_system, seed=config.seed)
-        if recorder is not None:
-            recorder.start(
-                method=task.method,
-                workload=workload,
-                seed=task.seed,
-                task_key=task_key,
-            )
-        metrics[workload] = Simulator(eval_system, sched).run(jobs).metrics
-        if recorder is not None and store is not None:
-            trace_keys.append(store.put(recorder.finish()))
+            return jobs
+        return build_workload(workload, base, eval_system, seed=config.seed)
+
+    batch = max(1, int(batch_episodes))
+    if (
+        batch > 1
+        and recorder is None
+        and len(task.workloads) > 1
+        and sched.lockstep_clone() is not None
+    ):
+        from repro.sim.batched import BatchedSimulator
+
+        names = list(task.workloads)
+        jobsets = {workload: build_jobs(workload) for workload in names}
+        for i in range(0, len(names), batch):
+            chunk = names[i : i + batch]
+            if len(chunk) == 1:
+                metrics[chunk[0]] = (
+                    Simulator(eval_system, sched).run(jobsets[chunk[0]]).metrics
+                )
+                continue
+            sim = BatchedSimulator.for_scheduler(eval_system, sched, len(chunk))
+            for workload, result in zip(chunk, sim.run([jobsets[w] for w in chunk])):
+                metrics[workload] = result.metrics
+    else:
+        for workload in task.workloads:
+            jobs = build_jobs(workload)
+            if recorder is not None:
+                recorder.start(
+                    method=task.method,
+                    workload=workload,
+                    seed=task.seed,
+                    task_key=task_key,
+                )
+            metrics[workload] = Simulator(eval_system, sched).run(jobs).metrics
+            if recorder is not None and store is not None:
+                trace_keys.append(store.put(recorder.finish()))
 
     if recorder is not None:
         sched.decision_recorder = None

@@ -22,6 +22,7 @@ see the README "Performance" section.
 from repro.perf.hotpath import (
     BENCHES,
     BenchResult,
+    bench_batched_episodes,
     bench_dfp_scoring,
     bench_fcfs_replay,
     bench_mrsch_episode,
@@ -42,6 +43,7 @@ from repro.perf.trajectory import (
 __all__ = [
     "BENCHES",
     "BenchResult",
+    "bench_batched_episodes",
     "bench_dfp_scoring",
     "bench_fcfs_replay",
     "bench_mrsch_episode",

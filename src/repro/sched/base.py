@@ -23,14 +23,11 @@ the simulator supplies — additionally enables the incremental hot path:
 O(window) window extraction instead of per-selection queue re-filters,
 O(1) dequeues instead of ``list.remove`` shifts, and a vectorized EASY
 pass over the queue's columnar request arrays instead of per-candidate
-``can_fit`` calls. The two queue forms make identical decisions for
-the heuristic schedulers — the golden FCFS-metrics test holds the fast
-path to the reference bit for bit. One caveat for MRSch under
-``dynamic_goal``: the queue's vectorized Eq.-1 contention totals sum
-in a different float order than the plain-list loop (~1e-15 relative
-goal drift, see :mod:`repro.core.goal` and the ROADMAP open item), so
-an exact score tie could in principle resolve differently between the
-two forms.
+``can_fit`` calls. The two queue forms make identical decisions —
+the golden FCFS-metrics test holds the fast path to the reference bit
+for bit, and since the Eq.-1 contention terms moved both queue forms
+onto one columnar summation order (:mod:`repro.core.goal`), MRSch's
+dynamic goal vector is bit-identical between them too.
 
 Policies that maintain *incremental per-decision state* (MRSch's
 persistent state buffer, fed by pool dirty trackers) rely on one
@@ -54,7 +51,12 @@ from repro.cluster.resources import ResourcePool, SystemConfig
 from repro.sched.jobqueue import JobQueue
 from repro.workload.job import Job
 
-__all__ = ["SchedulingContext", "Scheduler", "WindowPolicyScheduler"]
+__all__ = [
+    "SchedulingContext",
+    "DecisionInputs",
+    "Scheduler",
+    "WindowPolicyScheduler",
+]
 
 
 @dataclass
@@ -93,6 +95,25 @@ class SchedulingContext:
                 if len(out) == size:
                     break
         return out
+
+
+@dataclass
+class DecisionInputs:
+    """Network inputs of one staged window decision (split protocol).
+
+    :meth:`Scheduler.prepare_decision` fills these so a batch layer can
+    stack many episodes' rows into one network call and hand each
+    episode its score row back through
+    :meth:`Scheduler.apply_decision`. ``needs_scores`` is ``False``
+    when the policy already committed to an action without the network
+    (an exploration draw): the decision still flows through the split
+    protocol, but the batch layer must not spend a scoring row on it.
+    """
+
+    state: np.ndarray
+    measurement: np.ndarray
+    goal: np.ndarray
+    needs_scores: bool = True
 
 
 class Scheduler(ABC):
@@ -139,6 +160,55 @@ class Scheduler(ABC):
         """Clear episode state; called by the simulator before a run."""
         self.reserved_job = None
 
+    # -- split decision protocol (batched lockstep scoring) ----------------
+
+    def prepare_decision(
+        self, window: list[Job], ctx: SchedulingContext
+    ) -> DecisionInputs | None:
+        """Stage one window decision for external scoring.
+
+        Policies whose :meth:`select` boils down to *encode inputs → run
+        the network → pick over scores* split it here: return the
+        network inputs (stashing whatever per-decision context
+        :meth:`apply_decision` will need), and a batch layer scores many
+        episodes' staged decisions in one call. The default ``None``
+        declares the policy unsplittable; the loop falls back to
+        :meth:`select`.
+        """
+        return None
+
+    def apply_decision(
+        self, window: list[Job], ctx: SchedulingContext, scores: np.ndarray | None
+    ) -> Job | None:
+        """Finish the decision staged by :meth:`prepare_decision`.
+
+        ``scores`` is the policy's own scoring output for the staged
+        inputs (``None`` when the staged decision said it needed no
+        scores). Must behave exactly like the tail of :meth:`select`.
+        """
+        raise NotImplementedError(f"{self.name} does not implement the split protocol")
+
+    def batch_scorer(self):
+        """``(key, fn)`` for stacked scoring, or ``None``.
+
+        ``fn(states, measurements, goals)`` must return per-row score
+        arrays for stacked :class:`DecisionInputs` rows; ``key`` is an
+        identity token (e.g. the shared agent) so a batch layer only
+        stacks decisions that the same scorer can serve in one call.
+        """
+        return None
+
+    def lockstep_clone(self) -> "Scheduler | None":
+        """An independent scheduler for one more lockstep episode.
+
+        Clones share read-only policy machinery (e.g. one DFP agent's
+        weights and workspaces) but nothing episode-mutable, so N clones
+        can run N episodes concurrently within one process. ``None``
+        declares the policy unsafe to batch (e.g. it consumes per-decision
+        RNG whose stream order the lockstep interleaving would change).
+        """
+        return None
+
     # -- the shared instance loop ------------------------------------------
 
     def schedule(self, ctx: SchedulingContext) -> None:
@@ -176,20 +246,63 @@ class Scheduler(ABC):
             if not window:
                 return
             job = self.select(window, ctx)
-            if job is None:
+            if not self._handle_selection(job, window, ctx):
                 return
-            if job not in window:
-                raise RuntimeError(
-                    f"{self.name}: selected job {job.job_id} outside the window"
-                )
-            if self.decision_recorder is not None:
-                # Before the start/reserve below, while the pool still
-                # reflects the state the policy decided on.
-                self.decision_recorder.on_decision(self, window, job, ctx)
-            if ctx.pool.can_fit(job):
-                self._start(job, ctx)
+
+    def _handle_selection(
+        self, job: Job | None, window: list[Job], ctx: SchedulingContext
+    ) -> bool:
+        """Common tail of one selection; ``True`` keeps selecting."""
+        if job is None:
+            return False
+        if job not in window:
+            raise RuntimeError(
+                f"{self.name}: selected job {job.job_id} outside the window"
+            )
+        if self.decision_recorder is not None:
+            # Before the start/reserve below, while the pool still
+            # reflects the state the policy decided on.
+            self.decision_recorder.on_decision(self, window, job, ctx)
+        if ctx.pool.can_fit(job):
+            self._start(job, ctx)
+            return True
+        self.reserved_job = job
+        return False
+
+    # -- generator form of the instance loop --------------------------------
+
+    def schedule_gen(self, ctx: SchedulingContext):
+        """:meth:`schedule` as a generator that pauses at network calls.
+
+        Yields a :class:`DecisionInputs` at every point where the policy
+        staged a decision via :meth:`prepare_decision`; the driver
+        resumes the generator with ``send(scores)`` (or ``send(None)``
+        when the staged decision needs no scores). Policies without the
+        split protocol never yield — the generator runs the whole
+        instance on first advance. Decision order, recorder hooks and
+        reservation handling are identical to :meth:`schedule`.
+        """
+        self.begin_instance(ctx)
+        self._clear_stale_reservation(ctx)
+        yield from self._selection_loop_gen(ctx)
+        if self.backfill_enabled and self.reserved_job is not None:
+            self._easy_backfill(ctx)
+        self.end_instance(ctx)
+
+    def _selection_loop_gen(self, ctx: SchedulingContext):
+        if self.reserved_job is not None:
+            return
+        while True:
+            window = ctx.window(self.window_size)
+            if not window:
+                return
+            inputs = self.prepare_decision(window, ctx)
+            if inputs is None:
+                job = self.select(window, ctx)
             else:
-                self.reserved_job = job
+                scores = (yield inputs) if inputs.needs_scores else None
+                job = self.apply_decision(window, ctx, scores)
+            if not self._handle_selection(job, window, ctx):
                 return
 
     def _start(self, job: Job, ctx: SchedulingContext) -> None:

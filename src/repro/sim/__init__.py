@@ -8,9 +8,15 @@ re-implements those semantics:
 
 ``events``
     Typed events and a deterministic binary-heap event queue.
+``episode``
+    Snapshot/restore-able per-episode mutable state (pool, queue,
+    events, recorder, running set).
 ``simulator``
     The engine: submit/end event processing, scheduler invocation,
     job start bookkeeping.
+``batched``
+    Lockstep multi-episode driver sharing one batched network call per
+    macro-step across all episodes awaiting a decision.
 ``metrics``
     Paper §IV-B metrics (node/BB utilization, average wait, average
     slowdown), power metrics for §V-E, and Kiviat normalization (Fig 7).
@@ -18,6 +24,8 @@ re-implements those semantics:
     Timeline recording of measurements and goal vectors (Figs 8–9).
 """
 
+from repro.sim.batched import BatchedSimulator
+from repro.sim.episode import EpisodeState
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.metrics import MetricReport, compute_metrics, kiviat_normalize
 from repro.sim.recorder import TimelineRecorder
@@ -27,7 +35,9 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "EpisodeState",
     "Simulator",
+    "BatchedSimulator",
     "SimulationResult",
     "MetricReport",
     "compute_metrics",

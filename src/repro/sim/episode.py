@@ -1,0 +1,227 @@
+"""Snapshot/restore-able per-episode simulation state.
+
+The event loop in :class:`~repro.sim.simulator.Simulator` owns five
+pieces of mutable state — pool arrays (plus their dirty trackers), the
+waiting :class:`~repro.sched.jobqueue.JobQueue`, the event heap, the
+timeline recorder and the running-job dict. :class:`EpisodeState`
+factors them behind one boundary so
+
+* :class:`~repro.sim.batched.BatchedSimulator` can advance N episodes in
+  lockstep, each owning its own state but sharing one network,
+* a whole episode can be checkpointed mid-run and restored bit-exactly
+  (``snapshot``/``restore``), which is what makes the batch layer — and
+  any future speculative or branching rollout — cheap to build on.
+
+The pool object survives :meth:`load` calls (it is reset, never
+rebound), so incremental state encoders that attach to it by identity
+keep their binding across episodes and restores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.resources import ResourcePool, SystemConfig
+from repro.sched.base import Scheduler, SchedulingContext
+from repro.sched.jobqueue import JobQueue
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.metrics import MetricReport, compute_metrics
+from repro.sim.recorder import TimelineRecorder
+from repro.workload.job import Job
+
+__all__ = ["EpisodeState", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated trace replay."""
+
+    jobs: list[Job]
+    metrics: MetricReport
+    recorder: TimelineRecorder
+    makespan: float
+    n_scheduling_instances: int
+
+
+class EpisodeState:
+    """The full mutable state of one trace-replay episode.
+
+    Parameters
+    ----------
+    system:
+        Resource configuration.
+    record_timeline:
+        Record a utilization sample at every scheduling instance.
+    pool:
+        Optional pre-built pool to adopt (reset on :meth:`load`); by
+        default the episode builds its own. Either way the pool object
+        persists for the lifetime of the episode state.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        record_timeline: bool = True,
+        pool: ResourcePool | None = None,
+    ) -> None:
+        self.system = system
+        self.record_timeline = record_timeline
+        self.pool = pool if pool is not None else ResourcePool(system)
+        self.now = 0.0
+        self.queue: JobQueue = JobQueue(system.names)
+        self.events = EventQueue()
+        self.recorder = TimelineRecorder(system.n_resources)
+        self.n_instances = 0
+        self.jobs: list[Job] = []
+        #: running jobs keyed by job_id — O(1) END handling; the dict
+        #: preserves start order, so iterating (Eq. 1) matches the list
+        #: the seed implementation kept
+        self.running: dict[int, Job] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def load(self, jobs: list[Job]) -> None:
+        """Reset all state and seed the event queue with ``jobs``.
+
+        Jobs are copied; the caller's list is never mutated, so the same
+        trace can be replayed under many schedulers.
+        """
+        self.pool.reset()
+        self.queue = JobQueue(self.system.names)
+        self.now = 0.0
+        self.events = EventQueue()
+        self.recorder = TimelineRecorder(self.system.n_resources)
+        self.n_instances = 0
+        self.jobs = []
+        self.running = {}
+        for job in sorted(jobs, key=lambda j: (j.submit_time, j.job_id)):
+            self.system.validate_job(job)
+            copy = job.copy()
+            self.jobs.append(copy)
+            self.events.push(Event(copy.submit_time, EventKind.SUBMIT, copy))
+
+    def advance(self) -> bool:
+        """Apply the next instant's events; ``False`` once drained.
+
+        One ``True`` return corresponds to exactly one scheduling
+        trigger: all simultaneous events are applied before the
+        scheduler sees the new state (CQSim's trigger model).
+        """
+        if not self.events:
+            return False
+        batch = self.events.pop_simultaneous()
+        self.now = batch[0].time
+        for event in batch:
+            self.apply(event)
+        return True
+
+    def apply(self, event: Event) -> None:
+        if event.kind is EventKind.SUBMIT:
+            self.queue.append(event.job)
+        else:  # END
+            job = event.job
+            job.end_time = self.now
+            self.pool.release(job)
+            del self.running[job.job_id]
+
+    def start_job(self, job: Job) -> None:
+        self.pool.allocate(job, self.now)
+        job.start_time = self.now
+        self.running[job.job_id] = job
+        self.events.push(Event(self.now + job.runtime, EventKind.END, job))
+
+    def context(self) -> SchedulingContext:
+        return SchedulingContext(
+            now=self.now,
+            queue=self.queue,
+            pool=self.pool,
+            system=self.system,
+            start=self.start_job,
+            # A live view: iteration order is start order, as before.
+            running=self.running.values(),  # type: ignore[arg-type]
+        )
+
+    def end_instance(self) -> None:
+        """Close one scheduling instance (count it, sample utilization)."""
+        self.n_instances += 1
+        if self.record_timeline:
+            self.recorder.record_utilization(self.now, self.pool.utilizations())
+
+    def finish(self) -> SimulationResult:
+        """Check completion and package the episode's result."""
+        unfinished = [j.job_id for j in self.jobs if not j.finished]
+        if unfinished:
+            raise RuntimeError(f"simulation ended with unfinished jobs: {unfinished[:5]}")
+        makespan = max((j.end_time or 0.0) for j in self.jobs) if self.jobs else 0.0
+        return SimulationResult(
+            jobs=self.jobs,
+            metrics=compute_metrics(self.jobs, self.system, recorder=self.recorder),
+            recorder=self.recorder,
+            makespan=makespan,
+            n_scheduling_instances=self.n_instances,
+        )
+
+    def run_to_completion(self, scheduler: Scheduler) -> SimulationResult:
+        """Drive a loaded episode to its end under ``scheduler``.
+
+        The sequential inner loop, shared by :class:`Simulator` and the
+        batch layer's fallback path for schedulers that do not implement
+        the split decision protocol.
+        """
+        while self.advance():
+            scheduler.schedule(self.context())
+            self.end_instance()
+        return self.finish()
+
+    # -- snapshot / restore -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the episode mid-run.
+
+        Valid for restore onto *this* state object with the same loaded
+        trace: the event heap references the episode's job objects, so
+        per-job mutable fields are captured here and written back on
+        :meth:`restore` while the job identities stay put.
+        """
+        return {
+            "now": self.now,
+            "n_instances": self.n_instances,
+            "pool": self.pool.snapshot(),
+            "events": self.events.snapshot(),
+            "queue": [job.job_id for job in self.queue],
+            "running": list(self.running),
+            "recorder": self.recorder.snapshot(),
+            "jobs": {
+                job.job_id: (
+                    job.start_time,
+                    job.end_time,
+                    {k: list(v) for k, v in job.allocation.items()},
+                )
+                for job in self.jobs
+            },
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Restore state captured by :meth:`snapshot`.
+
+        Pool arrays are overwritten in place (identity-bound encoder
+        attachments survive; dirty trackers degrade to a full rebuild,
+        so the next encode is bit-identical to a fresh one). The waiting
+        queue is rebuilt in submission order, which reproduces the exact
+        window/backfill candidate sequence.
+        """
+        self.now = snap["now"]
+        self.n_instances = snap["n_instances"]
+        self.pool.restore(snap["pool"])
+        self.events.restore(snap["events"])
+        self.recorder.restore(snap["recorder"])
+        by_id = {job.job_id: job for job in self.jobs}
+        for jid, (start, end, alloc) in snap["jobs"].items():
+            job = by_id[jid]
+            job.start_time = start
+            job.end_time = end
+            job.allocation = {k: list(v) for k, v in alloc.items()}
+        self.queue = JobQueue(self.system.names)
+        for jid in snap["queue"]:
+            self.queue.append(by_id[jid])
+        self.running = {jid: by_id[jid] for jid in snap["running"]}

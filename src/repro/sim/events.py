@@ -73,6 +73,22 @@ class EventQueue:
             batch.append(heapq.heappop(self._heap)[3])
         return batch
 
+    def snapshot(self) -> tuple[list[tuple[float, int, int, Event]], int]:
+        """Copy of the heap and insertion counter.
+
+        Events are frozen dataclasses, so a shallow list copy preserves
+        exact ordering (including the insertion-sequence tie-break); the
+        jobs they reference are *not* copied — callers snapshotting a
+        simulation must capture mutable job state separately.
+        """
+        return list(self._heap), self._seq
+
+    def restore(self, snap: tuple[list[tuple[float, int, int, Event]], int]) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        heap, seq = snap
+        self._heap = list(heap)
+        self._seq = seq
+
     def __len__(self) -> int:
         return len(self._heap)
 

@@ -15,9 +15,18 @@ __all__ = ["TimelineRecorder"]
 
 
 class TimelineRecorder:
-    """Collects (time, vector) samples for utilization and goal values."""
+    """Collects (time, vector) samples for utilization and goal values.
 
-    def __init__(self) -> None:
+    ``n_resources`` fixes the value width up front so empty series keep
+    their resource dimension — a recorder that saw no samples yet still
+    answers ``(T=0, n_resources)``-shaped values, which is what plotting
+    and metric consumers expect. When omitted, the width is inferred
+    from the first recorded sample (and empty series fall back to
+    width 0, the historical behaviour).
+    """
+
+    def __init__(self, n_resources: int | None = None) -> None:
+        self.n_resources = n_resources
         self._util_times: list[float] = []
         self._util_values: list[np.ndarray] = []
         self._goal_times: list[float] = []
@@ -26,27 +35,56 @@ class TimelineRecorder:
     # -- recording ---------------------------------------------------------
 
     def record_utilization(self, time: float, utilization: np.ndarray) -> None:
+        value = np.asarray(utilization, dtype=float).copy()
+        if self.n_resources is None:
+            self.n_resources = value.shape[-1]
         self._util_times.append(time)
-        self._util_values.append(np.asarray(utilization, dtype=float).copy())
+        self._util_values.append(value)
 
     def record_goal(self, time: float, goal: np.ndarray) -> None:
+        value = np.asarray(goal, dtype=float).copy()
+        if self.n_resources is None:
+            self.n_resources = value.shape[-1]
         self._goal_times.append(time)
-        self._goal_values.append(np.asarray(goal, dtype=float).copy())
+        self._goal_values.append(value)
 
     # -- retrieval ---------------------------------------------------------
+
+    def _empty_series(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.zeros(0), np.zeros((0, self.n_resources or 0))
 
     @property
     def utilization_series(self) -> tuple[np.ndarray, np.ndarray]:
         """(times, values) arrays; values has shape (T, n_resources)."""
         if not self._util_times:
-            return np.zeros(0), np.zeros((0, 0))
+            return self._empty_series()
         return np.asarray(self._util_times), np.vstack(self._util_values)
 
     @property
     def goal_series(self) -> tuple[np.ndarray, np.ndarray]:
         if not self._goal_times:
-            return np.zeros(0), np.zeros((0, 0))
+            return self._empty_series()
         return np.asarray(self._goal_times), np.vstack(self._goal_values)
+
+    # -- snapshot / restore -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Copy of the recorded samples (for episode snapshot/restore)."""
+        return {
+            "n_resources": self.n_resources,
+            "util_times": list(self._util_times),
+            "util_values": [v.copy() for v in self._util_values],
+            "goal_times": list(self._goal_times),
+            "goal_values": [v.copy() for v in self._goal_values],
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Restore samples captured by :meth:`snapshot`."""
+        self.n_resources = snap["n_resources"]
+        self._util_times = list(snap["util_times"])
+        self._util_values = [v.copy() for v in snap["util_values"]]
+        self._goal_times = list(snap["goal_times"])
+        self._goal_values = [v.copy() for v in snap["goal_values"]]
 
     def goal_window(self, t_start: float, t_end: float) -> tuple[np.ndarray, np.ndarray]:
         """Goal samples within ``[t_start, t_end]`` (Fig. 8 windows)."""
@@ -69,7 +107,7 @@ class TimelineRecorder:
         """
         times, values = self.utilization_series
         if times.size == 0:
-            return np.zeros(0)
+            return np.zeros(self.n_resources or 0)
         if times.size == 1:
             return values[0].copy()
         span = times[-1] - times[0]

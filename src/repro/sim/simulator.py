@@ -6,32 +6,22 @@ trace; the clock jumps between events; every queue or system change
 policy under test. Job *starts* use the user walltime for resource
 estimates but the hidden actual runtime for the end event — exactly the
 information asymmetry a production scheduler faces.
+
+All mutable per-episode state lives in
+:class:`~repro.sim.episode.EpisodeState`; this class binds one episode
+to one scheduler and drives the loop. The lockstep multi-episode
+variant is :class:`~repro.sim.batched.BatchedSimulator`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.cluster.resources import ResourcePool, SystemConfig
-from repro.sched.base import Scheduler, SchedulingContext
+from repro.sched.base import Scheduler
 from repro.sched.jobqueue import JobQueue
-from repro.sim.events import Event, EventKind, EventQueue
-from repro.sim.metrics import MetricReport, compute_metrics
-from repro.sim.recorder import TimelineRecorder
+from repro.sim.episode import EpisodeState, SimulationResult
 from repro.workload.job import Job
 
 __all__ = ["Simulator", "SimulationResult"]
-
-
-@dataclass
-class SimulationResult:
-    """Outcome of one simulated trace replay."""
-
-    jobs: list[Job]
-    metrics: MetricReport
-    recorder: TimelineRecorder
-    makespan: float
-    n_scheduling_instances: int
 
 
 class Simulator:
@@ -57,20 +47,25 @@ class Simulator:
         self.system = system
         self.scheduler = scheduler
         self.record_timeline = record_timeline
-        self.pool = ResourcePool(system)
-        self.now = 0.0
-        #: the waiting queue — a :class:`JobQueue` so the scheduler loop
-        #: gets O(1) dequeues, O(window) windows and columnar backfill
-        #: arrays instead of full-queue rescans per selection
-        self.queue: JobQueue = JobQueue(system.names)
-        self._events = EventQueue()
-        self._recorder = TimelineRecorder()
-        self._n_instances = 0
-        self._jobs: list[Job] = []
-        #: running jobs keyed by job_id — O(1) END handling; the dict
-        #: preserves start order, so iterating (Eq. 1) matches the list
-        #: the seed implementation kept
-        self._running: dict[int, Job] = {}
+        self._state = EpisodeState(system, record_timeline)
+
+    # -- episode-state views (the pool persists across runs) --------------
+
+    @property
+    def state(self) -> EpisodeState:
+        return self._state
+
+    @property
+    def pool(self) -> ResourcePool:
+        return self._state.pool
+
+    @property
+    def queue(self) -> JobQueue:
+        return self._state.queue
+
+    @property
+    def now(self) -> float:
+        return self._state.now
 
     # -- public API ------------------------------------------------------
 
@@ -80,69 +75,6 @@ class Simulator:
         Jobs are copied; the caller's list is never mutated, so the same
         trace can be replayed under many schedulers.
         """
-        self._reset(jobs)
-        while self._events:
-            batch = self._events.pop_simultaneous()
-            self.now = batch[0].time
-            for event in batch:
-                self._apply(event)
-            self._invoke_scheduler()
-        unfinished = [j.job_id for j in self._jobs if not j.finished]
-        if unfinished:
-            raise RuntimeError(f"simulation ended with unfinished jobs: {unfinished[:5]}")
-        makespan = max((j.end_time or 0.0) for j in self._jobs) if self._jobs else 0.0
-        return SimulationResult(
-            jobs=self._jobs,
-            metrics=compute_metrics(self._jobs, self.system, recorder=self._recorder),
-            recorder=self._recorder,
-            makespan=makespan,
-            n_scheduling_instances=self._n_instances,
-        )
-
-    # -- internals ------------------------------------------------------
-
-    def _reset(self, jobs: list[Job]) -> None:
-        self.pool.reset()
-        self.queue = JobQueue(self.system.names)
-        self.now = 0.0
-        self._events = EventQueue()
-        self._recorder = TimelineRecorder()
-        self._n_instances = 0
+        self._state.load(jobs)
         self.scheduler.reset()
-        self._jobs = []
-        self._running = {}
-        for job in sorted(jobs, key=lambda j: (j.submit_time, j.job_id)):
-            self.system.validate_job(job)
-            copy = job.copy()
-            self._jobs.append(copy)
-            self._events.push(Event(copy.submit_time, EventKind.SUBMIT, copy))
-
-    def _apply(self, event: Event) -> None:
-        if event.kind is EventKind.SUBMIT:
-            self.queue.append(event.job)
-        else:  # END
-            job = event.job
-            job.end_time = self.now
-            self.pool.release(job)
-            del self._running[job.job_id]
-
-    def _start_job(self, job: Job) -> None:
-        self.pool.allocate(job, self.now)
-        job.start_time = self.now
-        self._running[job.job_id] = job
-        self._events.push(Event(self.now + job.runtime, EventKind.END, job))
-
-    def _invoke_scheduler(self) -> None:
-        ctx = SchedulingContext(
-            now=self.now,
-            queue=self.queue,
-            pool=self.pool,
-            system=self.system,
-            start=self._start_job,
-            # A live view: iteration order is start order, as before.
-            running=self._running.values(),  # type: ignore[arg-type]
-        )
-        self.scheduler.schedule(ctx)
-        self._n_instances += 1
-        if self.record_timeline:
-            self._recorder.record_utilization(self.now, self.pool.utilizations())
+        return self._state.run_to_completion(self.scheduler)

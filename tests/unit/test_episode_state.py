@@ -1,0 +1,207 @@
+"""EpisodeState / ResourcePool snapshot-restore round trips.
+
+The batched lockstep substrate leans on one invariant: restoring a
+snapshot puts *everything* an episode's decisions depend on — pool
+arrays, dirty trackers, incremental encoder buffers, the waiting queue,
+the event heap, per-job mutable fields — back bit-exactly. These tests
+pin that invariant both property-style (random allocate/release/clock
+histories) and end-to-end (a forked mid-run episode replays to the same
+result twice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.resources import (
+    BURST_BUFFER,
+    NODE,
+    ResourcePool,
+    ResourceSpec,
+    SystemConfig,
+)
+from repro.sched.fcfs import FCFSScheduler
+from repro.sim.episode import EpisodeState
+from repro.workload.theta import ThetaTraceConfig, generate_theta_trace
+from tests.conftest import make_job
+
+SYSTEM = SystemConfig(
+    resources=(ResourceSpec(NODE, 16, "node"), ResourceSpec(BURST_BUFFER, 8, "TB"))
+)
+
+
+def _pool_fingerprint(pool: ResourcePool, now: float) -> tuple:
+    """Every observable the schedulers and encoders read off a pool."""
+    parts = [tuple(pool.free_vector().tolist()), tuple(sorted(pool.running_jobs()))]
+    for name in pool.config.names:
+        busy, est = pool.unit_arrays(name)
+        parts.append((name, busy.tobytes(), est.tobytes()))
+        state_busy, state_est = pool.unit_state(name, now)
+        parts.append((state_busy.tobytes(), state_est.tobytes()))
+    return tuple(parts)
+
+
+# Each history step: (kind, size, clock delta). ``kind`` allocates a
+# fresh job, releases the oldest live one, or just advances the clock.
+_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "release", "tick"]),
+        st.integers(1, 12),
+        st.floats(0.0, 500.0),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestPoolSnapshotRestore:
+    @settings(max_examples=40, deadline=None)
+    @given(pre=_steps, post=_steps)
+    def test_random_history_round_trip(self, pre, post):
+        """snapshot → divergent future → restore ≡ the snapshot point."""
+        pool = ResourcePool(SYSTEM)
+        tracker = pool.register_tracker()
+        tracker.drain()  # start the tracker clean, as an encoder would
+
+        live: list = []
+        clock = [0.0]
+        ids = iter(range(1, 1000))
+
+        def apply(steps):
+            for kind, size, dt in steps:
+                clock[0] += dt
+                if kind == "alloc":
+                    job = make_job(
+                        job_id=next(ids), nodes=size, bb=size % 8, runtime=100.0
+                    )
+                    if pool.can_fit(job):
+                        pool.allocate(job, clock[0])
+                        live.append(job)
+                elif kind == "release" and live:
+                    pool.release(live.pop(0))
+
+        apply(pre)
+        frozen = _pool_fingerprint(pool, clock[0])
+        snap = pool.snapshot()
+        saved_clock, saved_live = clock[0], list(live)
+
+        apply(post)  # drive the pool somewhere else entirely
+        pool.restore(snap)
+        clock[0], live = saved_clock, saved_live
+
+        assert _pool_fingerprint(pool, clock[0]) == frozen
+        # The restore marks every tracker dirty: the next drain must
+        # demand a full rebuild, never a stale incremental patch.
+        assert tracker.drain() is None
+        # The restored pool keeps working: release everything live.
+        for job in live:
+            pool.release(job)
+        assert pool.running_jobs() == []
+
+    def test_restore_preserves_array_identity(self):
+        """In-place restore — encoder attachments bind by identity."""
+        pool = ResourcePool(SYSTEM)
+        before = {name: pool.unit_arrays(name) for name in SYSTEM.names}
+        snap = pool.snapshot()
+        pool.allocate(make_job(job_id=1, nodes=4, bb=2), 10.0)
+        pool.restore(snap)
+        for name in SYSTEM.names:
+            busy, est = pool.unit_arrays(name)
+            assert busy is before[name][0]
+            assert est is before[name][1]
+
+
+def _episode_fingerprint(state: EpisodeState) -> tuple:
+    return (
+        state.now,
+        state.n_instances,
+        tuple(job.job_id for job in state.queue),
+        tuple(state.running),
+        tuple((j.job_id, j.start_time, j.end_time) for j in state.jobs),
+        state.events.snapshot()[1],
+        _pool_fingerprint(state.pool, state.now),
+    )
+
+
+def _finish(scheduler, state: EpisodeState) -> tuple:
+    """Drive a loaded episode to its end; fully-resolved outcome."""
+    while state.advance():
+        scheduler.schedule(state.context())
+        state.end_instance()
+    result = state.finish()
+    return (
+        [(j.job_id, j.start_time, j.end_time) for j in result.jobs],
+        result.metrics.full_dict(),
+        result.n_scheduling_instances,
+        result.recorder.utilization_series[1].tobytes(),
+    )
+
+
+class TestEpisodeSnapshotRestore:
+    @pytest.fixture()
+    def trace(self):
+        cfg = ThetaTraceConfig(total_nodes=32, n_jobs=60, mean_interarrival=120.0)
+        return generate_theta_trace(cfg, seed=13)
+
+    @pytest.mark.parametrize("fork_at", [1, 7, 23])
+    def test_forked_replay_is_bit_identical(self, mini_system, trace, fork_at):
+        """Run to an instance, snapshot, finish, restore, finish again —
+        both futures must be the same future."""
+        sched = FCFSScheduler(window_size=5)
+        state = EpisodeState(mini_system)
+        state.load(trace)
+        sched.reset()
+        for _ in range(fork_at):
+            assert state.advance()
+            sched.schedule(state.context())
+            state.end_instance()
+        snap = state.snapshot()
+        at_fork = _episode_fingerprint(state)
+
+        first = _finish(sched, state)
+        state.restore(snap)
+        assert _episode_fingerprint(state) == at_fork
+        # Replay the restored tail under a fresh scheduler: FCFS's only
+        # cross-instance state (the backfill reservation) is re-derived
+        # from the restored queue/pool on the next instance.
+        sched2 = FCFSScheduler(window_size=5)
+        sched2.reset()
+        assert _finish(sched2, state) == first
+
+    def test_restore_rebuilds_queue_in_submission_order(self, mini_system):
+        jobs = [
+            make_job(job_id=i, submit=0.0, nodes=20, runtime=50.0) for i in (3, 1, 2)
+        ]
+        state = EpisodeState(mini_system)
+        state.load(jobs)
+        assert state.advance()  # all submit at t=0; only job 1 fits
+        sched = FCFSScheduler(window_size=5)
+        sched.reset()
+        sched.schedule(state.context())
+        state.end_instance()
+        snap = state.snapshot()
+        order = [job.job_id for job in state.queue]
+        state.restore(snap)
+        assert [job.job_id for job in state.queue] == order == [2, 3]
+
+    def test_recorder_survives_restore(self, mini_system, trace):
+        state = EpisodeState(mini_system)
+        state.load(trace)
+        sched = FCFSScheduler(window_size=5)
+        sched.reset()
+        for _ in range(5):
+            state.advance()
+            sched.schedule(state.context())
+            state.end_instance()
+        snap = state.snapshot()
+        times, values = state.recorder.utilization_series
+        state.advance()
+        sched.schedule(state.context())
+        state.end_instance()
+        state.restore(snap)
+        t2, v2 = state.recorder.utilization_series
+        np.testing.assert_array_equal(t2, times)
+        np.testing.assert_array_equal(v2, values)

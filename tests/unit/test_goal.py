@@ -96,3 +96,98 @@ def test_goal_simplex_property(jobs_data):
     assert g.shape == (2,)
     assert g.sum() == pytest.approx(1.0)
     assert np.all(g >= 0.0)
+
+
+def _per_job_reference(queued, running, system, now):
+    """The seed implementation's summation order: one job at a time."""
+    names = system.names
+    caps = [float(system.capacity(n)) for n in names]
+    totals = np.zeros(len(names))
+    for job in queued:
+        for k, name in enumerate(names):
+            totals[k] += job.request(name) / caps[k] * job.walltime
+    for job in running:
+        remaining = max(job.walltime - (now - job.start_time), 0.0)
+        for k, name in enumerate(names):
+            totals[k] += job.request(name) / caps[k] * remaining
+    return totals
+
+
+class TestSummationOrder:
+    """Eq. 1 columnar convention: both queue forms, one float order."""
+
+    def _jobs(self, n, start=False):
+        jobs = [
+            make_job(
+                job_id=100 + i,
+                nodes=(i * 7) % 16,
+                bb=(i * 3) % 8,
+                runtime=50.0 + 13.7 * i,
+                walltime=60.0 + 13.7 * i,
+            )
+            for i in range(n)
+        ]
+        if start:
+            for i, job in enumerate(jobs):
+                job.start_time = 5.0 * i
+        return jobs
+
+    def test_plain_list_and_jobqueue_bit_identical(self, tiny_system):
+        """The historical drift: JobQueue's columnar totals vs the
+        per-job loop disagreed in the last ulp. Both forms now evaluate
+        the identical ``(P/caps).T @ t`` product — exact equality."""
+        from repro.sched.jobqueue import JobQueue
+
+        queued = self._jobs(9)
+        running = self._jobs(4, start=True)
+        queue = JobQueue(tiny_system.names)
+        for job in queued:
+            queue.append(job)
+        plain = contention_terms(queued, running, tiny_system, now=30.0)
+        columnar = contention_terms(queue, running, tiny_system, now=30.0)
+        assert plain.tobytes() == columnar.tobytes()
+        g_plain = goal_vector(queued, running, tiny_system, now=30.0)
+        g_columnar = goal_vector(queue, running, tiny_system, now=30.0)
+        assert g_plain.tobytes() == g_columnar.tobytes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    queued_data=st.lists(
+        st.tuples(st.integers(0, 16), st.integers(0, 8), st.floats(1.0, 1e5)),
+        min_size=0,
+        max_size=12,
+    ),
+    running_data=st.lists(
+        st.tuples(
+            st.integers(0, 16),
+            st.integers(0, 8),
+            st.floats(1.0, 1e5),
+            st.floats(0.0, 1e5),
+        ),
+        min_size=0,
+        max_size=12,
+    ),
+    now=st.floats(0.0, 1e5),
+)
+def test_columnar_terms_match_per_job_loop_within_bound(
+    queued_data, running_data, now
+):
+    """The columnar product may re-associate float adds, but never
+    drifts from the per-job reference beyond a few ulps — the bound
+    documented in :func:`repro.core.goal.contention_terms`."""
+    system = SystemConfig(
+        resources=(ResourceSpec(NODE, 16), ResourceSpec(BURST_BUFFER, 8))
+    )
+    queued = [
+        make_job(job_id=i, nodes=n, bb=b, runtime=t, walltime=t)
+        for i, (n, b, t) in enumerate(queued_data)
+    ]
+    running = []
+    for i, (n, b, t, started) in enumerate(running_data):
+        job = make_job(job_id=1000 + i, nodes=n, bb=b, runtime=t, walltime=t)
+        job.start_time = started
+        running.append(job)
+    got = contention_terms(queued, running, system, now=now)
+    ref = _per_job_reference(queued, running, system, now)
+    np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-9)

@@ -87,3 +87,67 @@ class TestSeriesRetrieval:
         sample[:] = -1.0
         _, values = rec.utilization_series
         np.testing.assert_allclose(values[0], [0.1, 0.9])
+
+
+class TestCarriedResourceWidth:
+    """``n_resources`` keeps empty series shaped like non-empty ones."""
+
+    def test_empty_series_keep_declared_width(self):
+        rec = TimelineRecorder(n_resources=3)
+        times, values = rec.utilization_series
+        assert times.shape == (0,) and values.shape == (0, 3)
+        times, values = rec.goal_series
+        assert times.shape == (0,) and values.shape == (0, 3)
+
+    def test_empty_mean_utilization_keeps_declared_width(self):
+        rec = TimelineRecorder(n_resources=2)
+        out = rec.time_weighted_mean_utilization()
+        np.testing.assert_array_equal(out, np.zeros(2))
+
+    def test_width_inferred_from_first_sample(self):
+        rec = TimelineRecorder()
+        assert rec.n_resources is None
+        rec.record_goal(0.0, np.array([0.3, 0.7]))
+        assert rec.n_resources == 2
+        # Still-empty sibling series now answers with the carried width.
+        assert rec.utilization_series[1].shape == (0, 2)
+
+    def test_unrecorded_simulation_recorder_keeps_width(self, tiny_system):
+        """The plotting path off a ``record_timeline=False`` run: the
+        recorder saw no samples, but its series are system-shaped."""
+        from repro.sched.fcfs import FCFSScheduler
+        from repro.sim.simulator import Simulator
+        from tests.conftest import make_job
+
+        sim = Simulator(tiny_system, FCFSScheduler(window_size=4),
+                        record_timeline=False)
+        result = sim.run([make_job(job_id=1, nodes=2, runtime=10.0)])
+        times, values = result.recorder.utilization_series
+        assert times.shape == (0,)
+        assert values.shape == (0, tiny_system.n_resources)
+        assert result.recorder.time_weighted_mean_utilization().shape == (
+            tiny_system.n_resources,
+        )
+
+
+class TestSnapshotRestore:
+    def test_round_trip_preserves_samples_and_width(self):
+        rec = TimelineRecorder(n_resources=2)
+        rec.record_utilization(0.0, np.array([0.1, 0.9]))
+        rec.record_goal(1.0, np.array([0.4, 0.6]))
+        snap = rec.snapshot()
+        rec.record_utilization(2.0, np.array([1.0, 1.0]))
+        rec.restore(snap)
+        times, values = rec.utilization_series
+        assert times.tolist() == [0.0]
+        np.testing.assert_array_equal(values, [[0.1, 0.9]])
+        np.testing.assert_array_equal(rec.goal_series[1], [[0.4, 0.6]])
+        assert rec.n_resources == 2
+
+    def test_snapshot_is_isolated_from_later_mutation(self):
+        rec = TimelineRecorder(n_resources=1)
+        sample = np.array([0.5])
+        rec.record_utilization(0.0, sample)
+        snap = rec.snapshot()
+        snap["util_values"][0][:] = 99.0
+        np.testing.assert_array_equal(rec.utilization_series[1], [[0.5]])
