@@ -18,6 +18,15 @@ Four subcommands, each a thin shell over :mod:`repro.api`:
     Run the hot-path micro-benchmarks (``repro.perf``), print the
     timing table, optionally append a ``BENCH_hotpath.json`` trajectory
     entry and enforce the normalised regression guard.
+``repro work --queue DIR``
+    Join a shared-directory work queue as an elastic worker: claim
+    lease-able grid cells, execute them, publish durably, repeat until
+    the queue drains (``--wait`` keeps polling for new cells). Start or
+    kill any number of these, on any host sharing the directory, at any
+    point mid-grid.
+``repro queue-status --queue DIR``
+    One snapshot of a work queue's progress: done/leased/expired cell
+    counts, failures and the workers seen.
 
 Exit codes: 0 on success, 1 on a validation/runtime error (with a
 single-line message on stderr), 2 on bad command-line usage (argparse).
@@ -61,8 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="execute a scenario file")
     p_run.add_argument("scenario", help="path to a scenario .json file")
-    p_run.add_argument("--workers", type=int, default=1, metavar="N",
-                       help="worker processes (results identical at any width)")
+    p_run.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes (results identical at any "
+                            "width; default: the scenario's "
+                            "execution.workers, else 1)")
+    p_run.add_argument("--queue", default=None, metavar="DIR",
+                       help="dispatch through the shared work queue at DIR "
+                            "(repro.dist) instead of the local process "
+                            "pool; elastic 'repro work' workers may join")
     p_run.add_argument("--seed", type=int, default=None,
                        help="override the scenario's root seed (replaces an "
                             "explicit seeds list)")
@@ -167,6 +182,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", action="store_true",
                          help="machine-readable output")
 
+    p_work = sub.add_parser(
+        "work",
+        help="join a shared work queue as an elastic worker",
+        description="Claim, execute and durably publish grid cells from a "
+                    "shared-directory work queue (written by "
+                    "ExperimentRunner(dispatch='queue'), 'repro run "
+                    "--queue', or another worker's deterministic grid "
+                    "expansion). Workers may be started or killed at any "
+                    "time mid-grid: a crashed worker's cells re-issue after "
+                    "its lease expires, and re-issued results are "
+                    "bit-identical by construction.",
+    )
+    p_work.add_argument("--queue", required=True, metavar="DIR",
+                        help="the work-queue directory")
+    p_work.add_argument("--worker-id", default=None, metavar="ID",
+                        help="journal-shard / lease owner id "
+                             "(default: host-pid-random)")
+    p_work.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                        help="lease expiry override in seconds "
+                             "(default: 30)")
+    p_work.add_argument("--poll", type=float, default=0.5, metavar="S",
+                        help="idle scan interval")
+    p_work.add_argument("--max-cells", type=int, default=None, metavar="N",
+                        help="exit after executing N cells")
+    p_work.add_argument("--wait", action="store_true",
+                        help="keep polling after the queue drains instead "
+                             "of exiting (long-lived elastic worker)")
+    p_work.add_argument("--faults", default=None, metavar="FILE",
+                        help="scripted FaultPlan JSON file (fault-injection "
+                             "testing; REPRO_DIST_FAULTS env overrides)")
+    p_work.add_argument("--json", action="store_true",
+                        help="machine-readable exit report")
+
+    p_qstat = sub.add_parser(
+        "queue-status",
+        help="show a work queue's progress snapshot",
+    )
+    p_qstat.add_argument("--queue", required=True, metavar="DIR",
+                         help="the work-queue directory")
+    p_qstat.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+
     return parser
 
 
@@ -232,6 +289,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         checkpoint_path=args.checkpoint,
         trace_dir=args.trace_dir,
+        queue_dir=args.queue,
     )
     if args.json:
         print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
@@ -421,12 +479,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.dist import FaultPlan, QueueWorker, WorkQueue
+
+    plan = FaultPlan.from_env()
+    if plan is None and args.faults:
+        from pathlib import Path
+
+        plan = FaultPlan.from_json(Path(args.faults).read_text())
+    worker = QueueWorker(
+        WorkQueue(args.queue, create=False),
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        poll_interval=args.poll,
+        max_cells=args.max_cells,
+        wait_for_work=args.wait,
+        faults=plan,
+    )
+    report = worker.run()
+    if args.json:
+        print(json.dumps({
+            "worker_id": report.worker_id,
+            "executed": report.executed,
+            "reaped": report.reaped,
+            "straggled": report.straggled,
+            "failed": report.failed,
+        }, indent=2, sort_keys=True))
+    else:
+        print(
+            f"worker {report.worker_id}: {report.cells_done} cell(s) "
+            f"executed, {len(report.reaped)} expired lease(s) reaped, "
+            f"{len(report.failed)} failed"
+        )
+    return 1 if report.failed else 0
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    from repro.dist import WorkQueue
+
+    status = WorkQueue(args.queue, create=False).status()
+    if args.json:
+        print(json.dumps(status.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(status.summary())
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "compare": _cmd_compare,
     "eval": _cmd_eval,
     "bench": _cmd_bench,
+    "work": _cmd_work,
+    "queue-status": _cmd_queue_status,
 }
 
 

@@ -138,10 +138,11 @@ def run_scenario(
     *,
     config: "ExperimentConfig | None" = None,
     runner: ExperimentRunner | None = None,
-    n_workers: int = 1,
+    n_workers: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     checkpoint_path: str | os.PathLike | None = None,
     trace_dir: str | os.PathLike | None = None,
+    queue_dir: str | os.PathLike | None = None,
 ) -> ScenarioResult:
     """Load, compile and execute a scenario on the experiment engine.
 
@@ -160,6 +161,13 @@ def run_scenario(
     ``trace_dir`` argument is rejected, like ``cache_dir``); otherwise
     the ``trace_dir`` argument is used, falling back to the block's
     ``trace_dir`` field.
+
+    A scenario with an ``execution`` block picks its dispatch mode:
+    ``{"dispatch": "queue", "queue_dir": ..., "workers": N}`` runs the
+    grid through the shared-directory work queue (:mod:`repro.dist`) —
+    elastic ``repro work`` workers may join mid-run. Explicit
+    ``n_workers``/``queue_dir`` arguments override the block's values;
+    metrics are bit-identical in every mode.
     """
     scenario = load_scenario(source)
     if trace_dir is not None and not scenario.evaluation:
@@ -198,6 +206,20 @@ def run_scenario(
             "no trace store; construct it with ExperimentRunner(trace_dir=...)"
             + (f" — the scenario suggests {suggested!r}" if suggested else "")
         )
+    execution = scenario.execution or {}
+    if queue_dir is not None and runner is not None:
+        raise ValueError(
+            "pass queue_dir either to run_scenario or to the "
+            "ExperimentRunner, not both"
+        )
+    effective_queue_dir = (
+        queue_dir if queue_dir is not None else execution.get("queue_dir")
+    )
+    dispatch = execution.get("dispatch", "pool")
+    if queue_dir is not None:
+        dispatch = "queue"
+    if n_workers is None:
+        n_workers = int(execution.get("workers", 1))
     runner = runner or ExperimentRunner(
         n_workers=n_workers,
         cache_dir=cache_dir,
@@ -208,6 +230,9 @@ def run_scenario(
             if scenario.evaluation
             else False
         ),
+        dispatch=dispatch,
+        queue_dir=effective_queue_dir if dispatch == "queue" else None,
+        lease_ttl=float(execution.get("lease_ttl", 30.0)),
     )
     tasks = scenario.compile(config=config)
     results = runner.run(tasks)

@@ -68,12 +68,14 @@ _ALLOWED_KEYS = frozenset(
         "options",
         "config",
         "evaluation",
+        "execution",
     }
 )
 _SYSTEM_KEYS = frozenset({"name", "nodes", "bb_units"})
 _EVALUATION_KEYS = frozenset(
     {"policies", "trace_dir", "bootstrap", "seed", "compact_traces"}
 )
+_EXECUTION_KEYS = frozenset({"dispatch", "queue_dir", "workers", "lease_ttl"})
 _CONFIG_KEYS = frozenset(
     {
         "n_jobs",
@@ -127,6 +129,12 @@ class Scenario:
     #: ``run_scenario`` argument), ``bootstrap`` (resample count) and
     #: ``seed`` (bootstrap RNG seed).
     evaluation: Mapping = field(default_factory=dict)
+    #: execution section — *how* the grid runs, never *what* it
+    #: computes (task keys and metrics are dispatch-invariant). Keys:
+    #: ``dispatch`` ("pool" | "queue"), ``queue_dir`` (shared work-queue
+    #: directory, required for "queue"), ``workers`` (local worker
+    #: count) and ``lease_ttl`` (queue-mode lease expiry, seconds).
+    execution: Mapping = field(default_factory=dict)
 
     # -- validation -------------------------------------------------------
 
@@ -346,6 +354,53 @@ class Scenario:
             )
 
         _require(
+            isinstance(self.execution, Mapping),
+            f"scenario.execution must be a mapping, got "
+            f"{type(self.execution).__name__}",
+        )
+        if self.execution:
+            unknown = set(self.execution) - _EXECUTION_KEYS
+            _require(
+                not unknown,
+                f"unknown execution field(s) {sorted(unknown)}; "
+                f"allowed: {sorted(_EXECUTION_KEYS)}",
+            )
+            dispatch = self.execution.get("dispatch", "pool")
+            _require(
+                dispatch in ("pool", "queue"),
+                f"execution.dispatch must be 'pool' or 'queue', got {dispatch!r}",
+            )
+            queue_dir = self.execution.get("queue_dir")
+            _require(
+                queue_dir is None or (isinstance(queue_dir, str) and queue_dir),
+                f"execution.queue_dir must be a non-empty string, got {queue_dir!r}",
+            )
+            _require(
+                dispatch != "queue" or queue_dir is not None,
+                "execution.dispatch='queue' needs execution.queue_dir "
+                "(the shared work-queue directory)",
+            )
+            _require(
+                queue_dir is None or dispatch == "queue",
+                "execution.queue_dir given but execution.dispatch is "
+                "'pool'; set dispatch='queue' to use the work queue",
+            )
+            workers = self.execution.get("workers")
+            _require(
+                workers is None
+                or (isinstance(workers, int) and not isinstance(workers, bool)
+                    and workers >= 1),
+                f"execution.workers must be a positive int, got {workers!r}",
+            )
+            lease_ttl = self.execution.get("lease_ttl")
+            _require(
+                lease_ttl is None
+                or (isinstance(lease_ttl, (int, float))
+                    and not isinstance(lease_ttl, bool) and lease_ttl > 0),
+                f"execution.lease_ttl must be a positive number, got {lease_ttl!r}",
+            )
+
+        _require(
             isinstance(self.config, Mapping),
             f"scenario.config must be a mapping, got {type(self.config).__name__}",
         )
@@ -463,6 +518,8 @@ class Scenario:
             out["config"] = dict(self.config)
         if self.evaluation:
             out["evaluation"] = dict(self.evaluation)
+        if self.execution:
+            out["execution"] = dict(self.execution)
         return out
 
     def config_hash(self) -> str:
@@ -470,9 +527,14 @@ class Scenario:
 
         Key ordering in source files does not matter; two scenarios with
         the same content hash identically, which is what keeps the task
-        config hashes — and therefore the result cache — stable.
+        config hashes — and therefore the result cache — stable. The
+        ``execution`` section is excluded: it decides *how* cells run
+        (pool vs queue, worker count), never what they compute, so
+        flipping dispatch modes must not invalidate anything.
         """
-        return hashlib.sha256(canonical_json(self.to_dict()).encode()).hexdigest()[:16]
+        doc = self.to_dict()
+        doc.pop("execution", None)
+        return hashlib.sha256(canonical_json(doc).encode()).hexdigest()[:16]
 
     # -- compilation ------------------------------------------------------
 

@@ -1,0 +1,38 @@
+"""Distributed experiment dispatch over a shared-directory work queue.
+
+The coordination layer that promotes the experiment engine from a
+single-host process pool to an elastic multi-worker service: grid cells
+become lease-able task records in a shared directory
+(:class:`~repro.dist.queue.WorkQueue`), claimed via an atomic serverless
+lease protocol (:class:`~repro.dist.lease.LeaseBoard`), executed by any
+number of :class:`~repro.dist.worker.QueueWorker` loops that may join or
+leave mid-grid, and published durably to per-worker journal shards that
+merge losslessly. Crash recovery is re-issue after lease expiry;
+correctness under re-issue is free because every cell is a deterministic
+function of its config hash and ``SeedSequence`` seed — duplicates are
+bit-identical.
+
+Use it through ``ExperimentRunner(dispatch="queue", queue_dir=...)``,
+a scenario's ``execution`` block, or the ``repro work`` /
+``repro queue-status`` CLI subcommands. Scripted failures for tests live
+in :mod:`repro.dist.faults`.
+"""
+
+from repro.dist.coordinator import dispatch_tasks
+from repro.dist.faults import FaultInjector, FaultPlan
+from repro.dist.lease import Lease, LeaseBoard
+from repro.dist.queue import QueueStatus, WorkQueue
+from repro.dist.worker import QueueWorker, WorkerReport, new_worker_id
+
+__all__ = [
+    "WorkQueue",
+    "QueueStatus",
+    "Lease",
+    "LeaseBoard",
+    "QueueWorker",
+    "WorkerReport",
+    "FaultPlan",
+    "FaultInjector",
+    "dispatch_tasks",
+    "new_worker_id",
+]

@@ -1,0 +1,167 @@
+"""Queue-mode grid dispatch: enqueue, spawn workers, reap, collect.
+
+:func:`dispatch_tasks` is what :class:`~repro.exp.runner.ExperimentRunner`
+delegates to in ``dispatch="queue"`` mode. It plays the *coordinator*
+role of the lease protocol — which is deliberately thin, because the
+protocol is serverless: the coordinator just enqueues the deterministic
+grid expansion, starts N local worker processes, and then polls the
+queue while reaping expired leases until every cell is done. External
+workers (``repro work --queue DIR`` on any host sharing the directory)
+can join or leave at any point; the coordinator neither knows nor cares
+who executes a cell, because completion is defined by the queue state,
+not by its children.
+
+Liveness guarantee: if every local worker dies (scripted faults, OOM,
+operator SIGKILL) while cells remain and no external worker shows up
+within a lease ttl, the coordinator drains the remainder *inline* — the
+grid always terminates with the same bit-identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+
+from repro.dist.faults import FaultPlan
+from repro.dist.queue import WorkQueue
+from repro.dist.worker import QueueWorker
+from repro.exp.records import ExperimentTask, TaskResult
+
+__all__ = ["dispatch_tasks", "worker_process_entry"]
+
+
+def worker_process_entry(
+    queue_dir: str,
+    worker_id: str,
+    lease_ttl: float,
+    plan: FaultPlan | None,
+    modules: tuple[str, ...],
+    parent_path: list[str],
+) -> None:
+    """Subprocess target for a coordinator-spawned worker.
+
+    Mirrors the process-pool initializer contract: a ``spawn``-started
+    interpreter first restores the parent's ``sys.path`` and re-imports
+    the plugin registration modules so ``@register_*``'d components
+    resolve; under ``fork`` both steps are cached no-ops.
+    """
+    from repro.api.registry import import_plugin_modules
+
+    for entry in parent_path:
+        if entry not in sys.path:
+            sys.path.append(entry)
+    import_plugin_modules(modules)
+    QueueWorker(
+        WorkQueue(queue_dir, lease_ttl=lease_ttl, create=False),
+        worker_id=worker_id,
+        faults=plan,
+    ).run()
+
+
+def dispatch_tasks(
+    queue_dir: str | os.PathLike,
+    tasks: list[ExperimentTask],
+    *,
+    n_workers: int = 1,
+    lease_ttl: float = 30.0,
+    poll_interval: float = 0.2,
+    mp_start_method: str | None = None,
+    trace_dir: str | None = None,
+    trace_compact: bool = False,
+    batch_episodes: int = 1,
+    worker_faults: "list[FaultPlan | None] | None" = None,
+    inline_fallback: bool = True,
+) -> dict[str, TaskResult]:
+    """Run ``tasks`` through a shared-directory queue; results by key.
+
+    Enqueues the cells (idempotently — re-dispatching a half-finished
+    grid into the same directory resumes it), starts ``n_workers`` local
+    worker processes, and coordinates until every cell has a published
+    result: reaping expired leases so crashed/straggling workers'
+    cells re-issue, and draining inline if all workers are lost with no
+    elastic replacement in sight. ``worker_faults`` aligns scripted
+    :class:`FaultPlan`\\ s with local worker indices (testing/CI only).
+    """
+    queue = WorkQueue(queue_dir, lease_ttl=lease_ttl)
+    queue.write_meta(
+        trace_dir=trace_dir,
+        trace_compact=bool(trace_compact),
+        batch_episodes=int(batch_episodes),
+    )
+    keys = queue.enqueue(tasks)
+    key_set = set(keys)
+
+    from repro.api.registry import registration_modules
+
+    if mp_start_method is None:
+        mp_start_method = "fork" if sys.platform.startswith("linux") else "spawn"
+    context = multiprocessing.get_context(mp_start_method)
+    modules = registration_modules()
+    faults = list(worker_faults or [])
+    procs = []
+    for index in range(max(0, n_workers)):
+        plan = faults[index] if index < len(faults) else None
+        proc = context.Process(
+            target=worker_process_entry,
+            args=(
+                str(queue.root),
+                f"w{index}-{os.getpid()}",
+                lease_ttl,
+                plan,
+                modules,
+                list(sys.path),
+            ),
+            daemon=False,
+        )
+        proc.start()
+        procs.append(proc)
+
+    def outstanding() -> list[str]:
+        done = queue.done_keys()
+        return [k for k in keys if k not in done]
+
+    try:
+        fallback_deadline: float | None = None
+        while outstanding():
+            now = time.time()
+            for lease in queue.leases.leases():
+                if lease.key in key_set and lease.expired(now):
+                    queue.leases.reap(lease.key, now)
+            poisoned = [k for k in outstanding() if queue.poisoned(k)]
+            if poisoned:
+                errors = queue.failure_errors(poisoned[0])
+                raise RuntimeError(
+                    f"{len(poisoned)} queue cell(s) failed "
+                    f"{queue.failure_count(poisoned[0])} attempt(s) and were "
+                    f"withdrawn; first error:\n{errors[-1] if errors else '?'}"
+                )
+            if all(p.exitcode is not None for p in procs):
+                # Every local worker exited with cells still pending
+                # (crash-scripted or killed externally). Give an elastic
+                # external worker one lease ttl to pick the grid up,
+                # then drain inline so the dispatch always terminates.
+                if fallback_deadline is None:
+                    fallback_deadline = now + lease_ttl
+                elif now >= fallback_deadline and inline_fallback:
+                    QueueWorker(queue, worker_id=f"coord-{os.getpid()}").run()
+                    break
+            else:
+                fallback_deadline = None
+            time.sleep(poll_interval)
+    finally:
+        for proc in procs:
+            proc.join(timeout=30.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    merged = queue.merged_results()
+    missing = [k for k in keys if k not in merged]
+    if missing:
+        raise RuntimeError(
+            f"queue dispatch finished with {len(missing)} unpublished "
+            f"cell(s): {missing[:4]}{'…' if len(missing) > 4 else ''}"
+        )
+    return {k: merged[k] for k in keys}

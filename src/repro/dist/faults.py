@@ -1,0 +1,123 @@
+"""Deterministic fault injection for the distributed dispatch layer.
+
+A :class:`FaultPlan` scripts what goes wrong and *when*, in terms of
+worker decision points rather than wall-clock time, so integration tests
+reproduce the same failure on every run:
+
+* ``kill_after_claims=n`` — SIGKILL the worker process the instant it
+  wins its *n*-th lease claim (crash holding a lease, nothing published).
+* ``kill_before_publish=n`` — SIGKILL just before the *n*-th result
+  would be appended (the executed work is lost; the cell re-issues).
+* ``drop_heartbeats_after=n`` — the heartbeat thread silently stops
+  renewing after *n* beats (simulated straggler/partition: the worker
+  keeps executing, its lease expires, the cell is re-issued elsewhere
+  and the late publish lands idempotently).
+* ``delay_publish_s=t`` — sleep before every publish (publish skew).
+
+Kills are real ``SIGKILL``s delivered to ``os.getpid()`` — no cleanup
+handlers run, the lease file stays behind exactly as a crashed host
+would leave it.
+
+Plans serialise to JSON and travel to worker subprocesses either by
+constructor (in-process dispatch) or through the ``REPRO_DIST_FAULTS``
+environment variable (the ``repro work`` CLI), which is how the CI
+``dist-smoke`` job scripts its mid-run worker loss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import asdict, dataclass
+
+__all__ = ["FaultPlan", "FaultInjector", "FAULTS_ENV"]
+
+FAULTS_ENV = "REPRO_DIST_FAULTS"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A scripted set of failures, keyed by worker decision points."""
+
+    kill_after_claims: int | None = None
+    kill_before_publish: int | None = None
+    drop_heartbeats_after: int | None = None
+    delay_publish_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("kill_after_claims", "kill_before_publish",
+                     "drop_heartbeats_after"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, int) or value < 1):
+                raise ValueError(
+                    f"FaultPlan.{name} must be a positive int or None, "
+                    f"got {value!r}"
+                )
+        if self.delay_publish_s < 0:
+            raise ValueError(
+                f"FaultPlan.delay_publish_s must be >= 0, "
+                f"got {self.delay_publish_s!r}"
+            )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan must be a JSON object, got {text!r}")
+        unknown = set(data) - {f for f in asdict(cls()).keys()}
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan field(s) {sorted(unknown)}; "
+                f"allowed: {sorted(asdict(cls()).keys())}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """The plan scripted in ``REPRO_DIST_FAULTS``, if any."""
+        text = os.environ.get(FAULTS_ENV)
+        return cls.from_json(text) if text else None
+
+
+class FaultInjector:
+    """Counts decision points and fires the plan's scripted faults."""
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan or FaultPlan()
+        self.claims = 0
+        self.publishes = 0
+        self.heartbeats = 0
+
+    def _kill_self(self) -> None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def on_claim(self, key: str) -> None:
+        """Called right after a lease claim is won."""
+        self.claims += 1
+        if self.plan.kill_after_claims is not None and (
+            self.claims >= self.plan.kill_after_claims
+        ):
+            self._kill_self()
+
+    def on_publish(self, key: str) -> None:
+        """Called right before a result is appended to the shard."""
+        self.publishes += 1
+        if self.plan.kill_before_publish is not None and (
+            self.publishes >= self.plan.kill_before_publish
+        ):
+            self._kill_self()
+        if self.plan.delay_publish_s:
+            time.sleep(self.plan.delay_publish_s)
+
+    def on_heartbeat(self) -> bool:
+        """Whether the heartbeat thread should actually renew."""
+        self.heartbeats += 1
+        return not (
+            self.plan.drop_heartbeats_after is not None
+            and self.heartbeats > self.plan.drop_heartbeats_after
+        )

@@ -1,0 +1,329 @@
+"""The shared-directory work queue: grid cells as lease-able task files.
+
+Layout (everything under one ``queue_dir``, shareable over any common
+filesystem)::
+
+    queue_dir/
+      meta.json                      # execution context (trace dir, …)
+      tasks/<key>.json               # one ExperimentTask spec per cell
+      leases/<key>.json              # lease protocol (repro.dist.lease)
+      done/<key>.json                # completion marker: {worker, host, t}
+      failed/<key>-<attempt>.json    # per-attempt execution failures
+      results/journal-<worker>.jsonl # per-worker journal shards
+      workers/<worker>.json          # worker registration + heartbeat
+
+Cells are written once — by the coordinator or by any worker running the
+same deterministic :func:`~repro.exp.runner.grid_tasks` expansion; the
+task key is the config hash, so concurrent enqueues of the same grid
+collapse to identical files. Completed cells append to *per-worker*
+JSONL journal shards (appenders never contend on one file) which are
+merged on read; duplicates from straggler re-issues collapse by key and
+are bit-identical by construction (per-cell ``SeedSequence`` seeding).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.dist.lease import LeaseBoard
+from repro.exp.records import ExperimentTask, TaskResult
+
+__all__ = ["WorkQueue", "QueueStatus", "fsync_append"]
+
+#: attempts after which a deterministically-failing cell stops being
+#: re-issued (workers skip it; the coordinator raises with the errors)
+MAX_ATTEMPTS = 3
+
+
+def fsync_append(path: Path, line: str) -> None:
+    """Durably append one journal line: write, flush, ``fsync``.
+
+    The fsync makes a torn tail a last resort (power loss mid-write)
+    rather than the common case (process death with a full OS buffer);
+    the directory is fsynced on first create so the file's existence is
+    durable too.
+    """
+    existed = path.exists()
+    with open(path, "a") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    if not existed:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+@dataclass
+class QueueStatus:
+    """One snapshot of a queue's progress (``repro queue-status``)."""
+
+    total: int
+    done: int
+    leased_live: int
+    leased_expired: int
+    unclaimed: int
+    failed_keys: dict[str, int] = field(default_factory=dict)
+    workers: list[dict] = field(default_factory=list)
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.done
+
+    def to_json_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "done": self.done,
+            "pending": self.pending,
+            "leased_live": self.leased_live,
+            "leased_expired": self.leased_expired,
+            "unclaimed": self.unclaimed,
+            "failed": dict(self.failed_keys),
+            "workers": list(self.workers),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"cells: {self.done}/{self.total} done, "
+            f"{self.leased_live} leased, {self.leased_expired} expired-lease, "
+            f"{self.unclaimed} unclaimed"
+        ]
+        if self.failed_keys:
+            worst = max(self.failed_keys.values())
+            lines.append(
+                f"failed attempts on {len(self.failed_keys)} cell(s) "
+                f"(worst {worst}/{MAX_ATTEMPTS})"
+            )
+        now = time.time()
+        for worker in self.workers:
+            age = now - worker.get("last_seen", now)
+            lines.append(
+                f"worker {worker.get('worker_id', '?'):<20} "
+                f"{worker.get('hostname', '?'):<12} "
+                f"cells={worker.get('cells_done', 0):<4} "
+                f"seen {age:5.1f}s ago"
+            )
+        return "\n".join(lines)
+
+
+class WorkQueue:
+    """One shared-directory queue of lease-able experiment cells."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        lease_ttl: float = 30.0,
+        create: bool = True,
+    ) -> None:
+        self.root = Path(root)
+        if not create and not self.root.is_dir():
+            raise FileNotFoundError(f"work queue not found: {self.root}")
+        self.tasks_dir = self.root / "tasks"
+        self.done_dir = self.root / "done"
+        self.failed_dir = self.root / "failed"
+        self.results_dir = self.root / "results"
+        self.workers_dir = self.root / "workers"
+        if create:
+            for path in (
+                self.root, self.tasks_dir, self.done_dir, self.failed_dir,
+                self.results_dir, self.workers_dir,
+            ):
+                path.mkdir(parents=True, exist_ok=True)
+        self.leases = LeaseBoard(self.root / "leases", ttl=lease_ttl)
+
+    # -- execution context ------------------------------------------------
+
+    def write_meta(self, **meta) -> None:
+        """Publish shared execution context (trace dir, batching, …).
+
+        Written by whoever enqueues the grid so that late-joining
+        ``repro work`` processes agree on where trace artifacts go
+        without per-worker flags.
+        """
+        _atomic_write_json(self.root / "meta.json", meta)
+
+    def read_meta(self) -> dict:
+        try:
+            return json.loads((self.root / "meta.json").read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {}
+
+    # -- task records -----------------------------------------------------
+
+    def enqueue(self, tasks: list[ExperimentTask]) -> list[str]:
+        """Write task specs for every cell; returns their keys.
+
+        Idempotent: a key whose spec file already exists is left alone
+        (its content is identical by construction — the key *is* the
+        config hash), so any number of workers may race to enqueue the
+        same deterministic grid expansion.
+        """
+        keys = []
+        for task in tasks:
+            key = task.key()
+            keys.append(key)
+            path = self.tasks_dir / f"{key}.json"
+            if not path.exists():
+                _atomic_write_json(path, task.to_json_dict())
+        return keys
+
+    def task_keys(self) -> list[str]:
+        """Every enqueued cell key, sorted for a stable scan order."""
+        return sorted(path.stem for path in self.tasks_dir.glob("*.json"))
+
+    def load_task(self, key: str) -> ExperimentTask:
+        return ExperimentTask.from_json_dict(
+            json.loads((self.tasks_dir / f"{key}.json").read_text())
+        )
+
+    # -- completion -------------------------------------------------------
+
+    def is_done(self, key: str) -> bool:
+        return (self.done_dir / f"{key}.json").exists()
+
+    def done_keys(self) -> set[str]:
+        return {path.stem for path in self.done_dir.glob("*.json")}
+
+    def mark_done(self, key: str, worker_id: str) -> None:
+        """Write the O(1) completion marker (idempotent last-wins)."""
+        _atomic_write_json(
+            self.done_dir / f"{key}.json",
+            {"worker_id": worker_id, "hostname": socket.gethostname(),
+             "finished_at": time.time()},
+        )
+
+    # -- failures ---------------------------------------------------------
+
+    def record_failure(self, key: str, worker_id: str, error: str) -> int:
+        """Record one failed execution attempt; returns the new count."""
+        attempt = self.failure_count(key) + 1
+        _atomic_write_json(
+            self.failed_dir / f"{key}-{attempt}-{worker_id}.json",
+            {"key": key, "worker_id": worker_id, "attempt": attempt,
+             "error": error, "at": time.time()},
+        )
+        return self.failure_count(key)
+
+    def failure_count(self, key: str) -> int:
+        return sum(1 for _ in self.failed_dir.glob(f"{key}-*.json"))
+
+    def failures(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for path in self.failed_dir.glob("*.json"):
+            key = path.stem.split("-")[0]
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def poisoned(self, key: str) -> bool:
+        """Whether ``key`` has exhausted its re-issue budget."""
+        return self.failure_count(key) >= MAX_ATTEMPTS
+
+    def failure_errors(self, key: str) -> list[str]:
+        out = []
+        for path in sorted(self.failed_dir.glob(f"{key}-*.json")):
+            try:
+                out.append(json.loads(path.read_text()).get("error", "?"))
+            except (json.JSONDecodeError, OSError):
+                continue
+        return out
+
+    # -- journal shards ---------------------------------------------------
+
+    def shard_path(self, worker_id: str) -> Path:
+        return self.results_dir / f"journal-{worker_id}.jsonl"
+
+    def publish(self, worker_id: str, result: TaskResult) -> None:
+        """Durably append ``result`` to the worker's own journal shard,
+        then flip the done marker. Ordering matters: a crash between the
+        two re-issues the cell, and the duplicate row merges away."""
+        fsync_append(
+            self.shard_path(worker_id),
+            json.dumps(result.to_json_dict(), sort_keys=True),
+        )
+        self.mark_done(result.key, worker_id)
+
+    def merged_results(self) -> dict[str, TaskResult]:
+        """All shards merged by key (first shard wins; torn tails skipped).
+
+        Duplicate keys across shards come only from straggler re-issues
+        and are bit-identical by construction, so either copy is the
+        result.
+        """
+        merged: dict[str, TaskResult] = {}
+        for shard in sorted(self.results_dir.glob("journal-*.jsonl")):
+            with open(shard) as handle:
+                for line in handle:
+                    stripped = line.strip()
+                    if not stripped:
+                        continue
+                    try:
+                        result = TaskResult.from_json_dict(json.loads(stripped))
+                    except (json.JSONDecodeError, KeyError, ValueError):
+                        continue  # torn tail of a crashed worker
+                    merged.setdefault(result.key, result)
+        return merged
+
+    # -- worker registry --------------------------------------------------
+
+    def register_worker(self, worker_id: str, **info) -> None:
+        _atomic_write_json(
+            self.workers_dir / f"{worker_id}.json",
+            {"worker_id": worker_id, "hostname": socket.gethostname(),
+             "pid": os.getpid(), "last_seen": time.time(), **info},
+        )
+
+    def workers(self) -> list[dict]:
+        out = []
+        for path in sorted(self.workers_dir.glob("*.json")):
+            try:
+                out.append(json.loads(path.read_text()))
+            except (json.JSONDecodeError, OSError):
+                continue
+        return out
+
+    # -- status -----------------------------------------------------------
+
+    def status(self) -> QueueStatus:
+        keys = self.task_keys()
+        done = self.done_keys()
+        live = expired = 0
+        now = time.time()
+        claimed = set()
+        for lease in self.leases.leases():
+            if lease.key in done:
+                continue
+            claimed.add(lease.key)
+            if lease.expired(now):
+                expired += 1
+            else:
+                live += 1
+        unclaimed = sum(1 for k in keys if k not in done and k not in claimed)
+        return QueueStatus(
+            total=len(keys),
+            done=sum(1 for k in keys if k in done),
+            leased_live=live,
+            leased_expired=expired,
+            unclaimed=unclaimed,
+            failed_keys=self.failures(),
+            workers=self.workers(),
+        )

@@ -1,0 +1,234 @@
+"""The elastic queue worker: claim → execute → publish, forever.
+
+A :class:`QueueWorker` is completely stateless with respect to the grid:
+everything it needs — task specs, leases, completion markers, the shared
+execution context — lives in the queue directory, so workers can be
+started or SIGKILLed at any moment mid-grid (``repro work --queue DIR``)
+and the sweep converges regardless. Crash recovery is the lease
+protocol's job: a worker that dies holding a lease simply stops
+heartbeating, the lease expires, and any scanning worker reaps and
+re-claims the cell. Results of re-issued cells are bit-identical to the
+lost original (per-cell ``SeedSequence`` seeds), so publishes are
+idempotent by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+import uuid
+from dataclasses import dataclass, field
+
+from repro.dist.faults import FaultInjector, FaultPlan
+from repro.dist.queue import WorkQueue
+from repro.exp.tasks import execute_task
+
+__all__ = ["QueueWorker", "WorkerReport", "Heartbeat", "new_worker_id"]
+
+
+def new_worker_id() -> str:
+    """A short host-qualified id (``host-pid-rand``) for shard naming."""
+    return (
+        f"{socket.gethostname().split('.')[0]}-{os.getpid()}-"
+        f"{uuid.uuid4().hex[:6]}"
+    )
+
+
+class Heartbeat(threading.Thread):
+    """Background lease renewal for the cell currently executing."""
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        key: str,
+        owner: str,
+        interval: float,
+        faults: FaultInjector,
+    ) -> None:
+        super().__init__(name=f"heartbeat-{key[:8]}", daemon=True)
+        self.queue = queue
+        self.key = key
+        self.owner = owner
+        self.interval = interval
+        self.faults = faults
+        self._halt = threading.Event()
+        #: False once a renewal was refused (lease reaped + re-claimed);
+        #: execution continues — the publish is idempotent — but the
+        #: worker knows it became a straggler on this cell.
+        self.owned = True
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            if not self.faults.on_heartbeat():
+                continue  # scripted heartbeat loss: skip the renewal
+            if not self.queue.leases.renew(self.key, self.owner):
+                self.owned = False
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+@dataclass
+class WorkerReport:
+    """What one worker loop did before exiting."""
+
+    worker_id: str
+    executed: list[str] = field(default_factory=list)
+    reaped: list[str] = field(default_factory=list)
+    straggled: list[str] = field(default_factory=list)
+    failed: list[str] = field(default_factory=list)
+
+    @property
+    def cells_done(self) -> int:
+        return len(self.executed)
+
+
+class QueueWorker:
+    """One claim/execute/publish loop over a shared work queue.
+
+    Parameters
+    ----------
+    queue:
+        The :class:`WorkQueue` (or its directory path).
+    worker_id:
+        Shard / lease owner id; defaults to a fresh host-qualified id.
+    heartbeat_interval:
+        Lease renewal period; defaults to a quarter of the queue's ttl
+        so a healthy worker never comes close to expiry.
+    poll_interval:
+        Sleep between scans when nothing was claimable.
+    max_cells:
+        Stop after executing this many cells (None = unbounded).
+    wait_for_work:
+        Keep polling after the queue drains (elastic long-lived worker)
+        instead of exiting. ``repro work --wait``.
+    faults:
+        Scripted :class:`FaultPlan` for the integration tests / CI.
+    execute:
+        Override for :func:`~repro.exp.tasks.execute_task` (same
+        signature). The dispatch-overhead bench serves pre-computed
+        results through this to time the coordination term alone.
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue | str | os.PathLike,
+        worker_id: str | None = None,
+        lease_ttl: float | None = None,
+        heartbeat_interval: float | None = None,
+        poll_interval: float = 0.2,
+        max_cells: int | None = None,
+        wait_for_work: bool = False,
+        faults: FaultPlan | FaultInjector | None = None,
+        execute=None,
+    ) -> None:
+        if not isinstance(queue, WorkQueue):
+            queue = WorkQueue(queue, lease_ttl=lease_ttl or 30.0, create=False)
+        elif lease_ttl is not None:
+            queue.leases.ttl = float(lease_ttl)
+        self.queue = queue
+        self.worker_id = worker_id or new_worker_id()
+        self.heartbeat_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else queue.leases.ttl / 4.0
+        )
+        self.poll_interval = poll_interval
+        self.max_cells = max_cells
+        self.wait_for_work = wait_for_work
+        self.faults = (
+            faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
+        )
+        self.execute = execute if execute is not None else execute_task
+        self.report = WorkerReport(worker_id=self.worker_id)
+
+    # -- the loop ---------------------------------------------------------
+
+    def run(self) -> WorkerReport:
+        """Work until the queue drains (or ``wait_for_work`` forever)."""
+        meta = self.queue.read_meta()
+        self.queue.register_worker(self.worker_id, cells_done=0)
+        while True:
+            progress = self._scan_once(meta)
+            if self.max_cells is not None and (
+                len(self.report.executed) >= self.max_cells
+            ):
+                break
+            if not progress:
+                if self._drained() and not self.wait_for_work:
+                    break
+                time.sleep(self.poll_interval)
+        self.queue.register_worker(
+            self.worker_id, cells_done=self.report.cells_done, exited=True
+        )
+        return self.report
+
+    def _drained(self) -> bool:
+        """No cell left that this worker could ever make progress on.
+
+        A live lease held by *someone else* does not count as drained —
+        that owner may yet die, so the worker keeps polling until the
+        cell is done (or poisoned by repeated failures).
+        """
+        for key in self.queue.task_keys():
+            if self.queue.is_done(key) or self.queue.poisoned(key):
+                continue
+            return False
+        return True
+
+    def _scan_once(self, meta: dict) -> bool:
+        """One pass over the task records; True when a cell executed."""
+        for key in self.queue.task_keys():
+            if self.queue.is_done(key) or self.queue.poisoned(key):
+                continue
+            lease = self.queue.leases.read(key)
+            if lease is not None:
+                if not lease.expired():
+                    continue
+                if not self.queue.leases.reap(key):
+                    continue  # lost the reap race or the owner renewed
+                self.report.reaped.append(key)
+            if not self.queue.leases.try_claim(key, self.worker_id):
+                continue
+            if self.queue.is_done(key):
+                # Raced a straggler's publish between scan and claim.
+                self.queue.leases.release(key, self.worker_id)
+                continue
+            self.faults.on_claim(key)
+            self._execute_cell(key, meta)
+            return True
+        return False
+
+    def _execute_cell(self, key: str, meta: dict) -> None:
+        heartbeat = Heartbeat(
+            self.queue, key, self.worker_id, self.heartbeat_interval, self.faults
+        )
+        heartbeat.start()
+        try:
+            result = self.execute(
+                self.queue.load_task(key),
+                meta.get("trace_dir"),
+                bool(meta.get("trace_compact", False)),
+                int(meta.get("batch_episodes", 1)),
+            )
+        except Exception:
+            heartbeat.stop()
+            self.report.failed.append(key)
+            self.queue.record_failure(
+                key, self.worker_id, traceback.format_exc(limit=20)
+            )
+            self.queue.leases.release(key, self.worker_id)
+            return
+        heartbeat.stop()
+        if not heartbeat.owned:
+            self.report.straggled.append(key)
+        result.worker_id = self.worker_id
+        self.faults.on_publish(key)
+        self.queue.publish(self.worker_id, result)
+        self.queue.leases.release(key, self.worker_id)
+        self.report.executed.append(key)
+        self.queue.register_worker(self.worker_id, cells_done=self.report.cells_done)

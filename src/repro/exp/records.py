@@ -19,6 +19,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import socket
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -128,6 +129,48 @@ class ExperimentTask:
     def key(self) -> str:
         return task_key(self)
 
+    def to_json_dict(self) -> dict:
+        """Lossless JSON rendering (the distributed work queue's task spec).
+
+        The config is flattened to its constructor fields, so the
+        round-trip re-validates on load and the reconstructed task hashes
+        to the identical :func:`task_key` — a queued cell claimed on
+        another host resolves to the same cache/journal entry.
+        """
+        config = dataclasses.asdict(self.config)
+        config["curriculum_sets"] = list(config["curriculum_sets"])
+        return {
+            "method": self.method,
+            "workloads": list(self.workloads),
+            "seed": self.seed,
+            "config": config,
+            "train": self.train,
+            "case_study": self.case_study,
+            "extra": [[name, value] for name, value in self.extra],
+            "label": self.label,
+            "capture_traces": self.capture_traces,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ExperimentTask":
+        from repro.experiments.harness import ExperimentConfig
+        from repro.sched.ga import NSGA2Config
+
+        config = dict(data["config"])
+        config["curriculum_sets"] = tuple(config["curriculum_sets"])
+        config["ga_config"] = NSGA2Config(**config["ga_config"])
+        return cls(
+            method=data["method"],
+            workloads=tuple(data["workloads"]),
+            seed=int(data["seed"]),
+            config=ExperimentConfig(**config),
+            train=bool(data.get("train", False)),
+            case_study=bool(data.get("case_study", False)),
+            extra=tuple((name, value) for name, value in data.get("extra", ())),
+            label=data.get("label", ""),
+            capture_traces=bool(data.get("capture_traces", False)),
+        )
+
 
 @dataclass
 class TaskResult:
@@ -147,6 +190,12 @@ class TaskResult:
     #: store keys of the decision traces recorded alongside this result
     #: (one per workload when the task captured traces)
     trace_keys: tuple[str, ...] = ()
+    #: queue-dispatch worker that executed the cell ("" outside queue
+    #: mode — the process-pool path is identified by ``worker_pid``)
+    worker_id: str = ""
+    #: host the cell executed on; with ``worker_id`` this makes merged
+    #: multi-worker journal shards auditable
+    hostname: str = field(default_factory=socket.gethostname)
 
     @property
     def display_name(self) -> str:
@@ -167,6 +216,8 @@ class TaskResult:
             "source": self.source,
             "label": self.label,
             "trace_keys": list(self.trace_keys),
+            "worker_id": self.worker_id,
+            "hostname": self.hostname,
         }
 
     @classmethod
@@ -184,4 +235,6 @@ class TaskResult:
             source=data.get("source", "run"),
             label=data.get("label", ""),
             trace_keys=tuple(data.get("trace_keys", ())),
+            worker_id=data.get("worker_id", ""),
+            hostname=data.get("hostname", ""),
         )

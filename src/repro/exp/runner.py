@@ -154,6 +154,26 @@ class ExperimentRunner:
         cores and amortize network dispatch at the same time. Pure
         execution knob: metric values, cache keys and checkpoints are
         identical to the sequential path.
+    dispatch:
+        ``"pool"`` (default) fans pending cells over a local
+        :class:`~concurrent.futures.ProcessPoolExecutor`; ``"queue"``
+        dispatches them through the shared-directory work queue at
+        ``queue_dir`` (:mod:`repro.dist`): ``n_workers`` local worker
+        processes are started, external ``repro work --queue DIR``
+        workers on any host sharing the directory may join or leave
+        mid-grid, and crashed workers' cells are re-issued after their
+        lease expires. Pure execution knob — metrics, cache keys and
+        checkpoints are bit-identical to the pool and serial paths.
+    queue_dir:
+        Work-queue directory for ``dispatch="queue"`` (required then,
+        rejected otherwise). Reusing the directory resumes a
+        half-finished grid — published cells are never re-executed.
+    lease_ttl:
+        Queue-mode lease expiry in seconds; a worker silent for this
+        long forfeits its cell to re-issue.
+    worker_faults:
+        Scripted :class:`~repro.dist.faults.FaultPlan` per local queue
+        worker index (fault-injection tests/CI only).
     """
 
     def __init__(
@@ -165,12 +185,34 @@ class ExperimentRunner:
         trace_dir: str | os.PathLike | None = None,
         trace_compact: bool = False,
         batch_episodes: int = 1,
+        dispatch: str = "pool",
+        queue_dir: str | os.PathLike | None = None,
+        lease_ttl: float = 30.0,
+        worker_faults: Sequence | None = None,
     ) -> None:
         if n_workers is None:
             n_workers = os.cpu_count() or 1
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
+        if dispatch not in ("pool", "queue"):
+            raise ValueError(
+                f"dispatch must be 'pool' or 'queue', got {dispatch!r}"
+            )
+        if dispatch == "queue" and queue_dir is None:
+            raise ValueError(
+                "dispatch='queue' needs the shared work-queue directory; "
+                "pass ExperimentRunner(queue_dir=...)"
+            )
+        if dispatch != "queue" and queue_dir is not None:
+            raise ValueError(
+                "queue_dir given but dispatch is 'pool'; set "
+                "dispatch='queue' to use the work queue"
+            )
+        self.dispatch = dispatch
+        self.queue_dir = Path(queue_dir) if queue_dir is not None else None
+        self.lease_ttl = float(lease_ttl)
+        self.worker_faults = list(worker_faults) if worker_faults else []
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
@@ -224,9 +266,21 @@ class ExperimentRunner:
         if self.checkpoint_path is None:
             return
         self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        # flush() alone leaves the line in the OS page cache, so a crash
+        # could tear the journal tail; fsync the fd (and the directory on
+        # first create, making the file's existence durable) so the
+        # torn-fragment recovery in _load_checkpoint stays a last resort.
+        existed = self.checkpoint_path.exists()
         with open(self.checkpoint_path, "a") as handle:
             handle.write(json.dumps(result.to_json_dict(), sort_keys=True) + "\n")
             handle.flush()
+            os.fsync(handle.fileno())
+        if not existed:
+            dir_fd = os.open(self.checkpoint_path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
 
     # -- execution --------------------------------------------------------
 
@@ -261,7 +315,9 @@ class ExperimentRunner:
 
         if pending:
             trace_dir = str(self.trace_dir) if self.trace_dir is not None else None
-            if self.n_workers == 1 or len(pending) == 1:
+            if self.dispatch == "queue":
+                self._run_queue(pending, resolved, trace_dir)
+            elif self.n_workers == 1 or len(pending) == 1:
                 for key, task in pending.items():
                     self._record(
                         resolved,
@@ -355,6 +411,35 @@ class ExperimentRunner:
                 finished, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in finished:
                     self._record(resolved, future.result())
+
+    def _run_queue(
+        self,
+        pending: dict[str, ExperimentTask],
+        resolved: dict[str, TaskResult],
+        trace_dir: str | None = None,
+    ) -> None:
+        """Dispatch pending cells through the shared-directory queue.
+
+        The cache/checkpoint recall layers above are untouched: only
+        genuinely pending cells are enqueued, and every published result
+        flows back through :meth:`_record`, so the coordinator's journal
+        and cache end up identical to a pool run's.
+        """
+        from repro.dist.coordinator import dispatch_tasks
+
+        results = dispatch_tasks(
+            self.queue_dir,
+            list(pending.values()),
+            n_workers=self.n_workers,
+            lease_ttl=self.lease_ttl,
+            mp_start_method=self.mp_start_method,
+            trace_dir=trace_dir,
+            trace_compact=self.trace_compact,
+            batch_episodes=self.batch_episodes,
+            worker_faults=self.worker_faults,
+        )
+        for key in pending:
+            self._record(resolved, results[key])
 
     # -- grid convenience --------------------------------------------------
 

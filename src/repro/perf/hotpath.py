@@ -54,6 +54,7 @@ __all__ = [
     "bench_dfp_scoring",
     "bench_mrsch_theta_decision",
     "bench_batched_episodes",
+    "bench_dispatch_overhead",
     "run_suite",
     "list_benches",
     "BENCHES",
@@ -543,6 +544,107 @@ def bench_batched_episodes(
     )
 
 
+def bench_dispatch_overhead(
+    n_jobs: int = 120,
+    nodes: int = 64,
+    bb_units: int = 32,
+    n_seeds: int = 2,
+    window_size: int = 5,
+    seed: int = 3,
+    repeats: int = 3,
+) -> BenchResult:
+    """Per-cell coordination cost of queue dispatch (``repro.dist``).
+
+    The coordination term is *additive*: claim, task-spec read, fsynced
+    journal publish, done marker and lease release happen strictly
+    before/after a cell executes. Differencing two noisy end-to-end
+    walls cannot resolve a ~5 ms/cell term under ±30% cell-execution
+    noise, so the bench times the term directly: the full queue path —
+    enqueue, inline worker drain, shard merge — with cell results served
+    from a pre-computed table through the worker's ``execute`` hook.
+    ``wall_s`` is that coordination-only wall (min over interleaved
+    repeats); ``meta`` carries the serial execution floor measured on
+    the identical grid, ``overhead_fraction`` (coordination wall over
+    serial wall — the <10% guard), and a bit-identity check from one
+    *real* end-to-end queue run against the serial results. Worker
+    process spawn is deliberately out of scope: a fixed per-worker cost,
+    not part of the per-cell scaling this bench guards.
+
+    On checkouts predating ``repro.dist`` only the serial floor is
+    measured (``meta.dispatch`` says which).
+    """
+    import tempfile
+
+    from repro.exp.runner import grid_tasks
+    from repro.exp.tasks import execute_task
+    from repro.experiments.harness import ExperimentConfig
+
+    try:
+        from repro.dist import QueueWorker, WorkQueue
+    except ImportError:  # pre-dist checkout: measure the serial floor
+        QueueWorker = WorkQueue = None
+
+    config = ExperimentConfig(
+        nodes=nodes, bb_units=bb_units, n_jobs=n_jobs,
+        window_size=window_size, seed=seed,
+    )
+    tasks = grid_tasks(["heuristic", "scalar_rl"], ["S1"], config, n_seeds=n_seeds)
+    execute_task(tasks[0], None, False, 1)  # warm imports/caches
+
+    def queue_drain(execute) -> tuple[float, dict]:
+        with tempfile.TemporaryDirectory(prefix="bench-dispatch-") as tmp:
+            t0 = time.perf_counter()
+            queue = WorkQueue(tmp, lease_ttl=30.0)
+            queue.write_meta(batch_episodes=1)
+            queue.enqueue(tasks)
+            QueueWorker(queue, worker_id="bench-inline", execute=execute).run()
+            merged = queue.merged_results()
+            return time.perf_counter() - t0, merged
+
+    serial_wall = wall = float("inf")
+    serial: dict | None = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        results = {task.key(): execute_task(task, None, False, 1) for task in tasks}
+        serial_wall = min(serial_wall, time.perf_counter() - t0)
+        serial = serial or results
+        if WorkQueue is not None:
+            coord_wall, _ = queue_drain(lambda task, *args: serial[task.key()])
+            wall = min(wall, coord_wall)
+
+    meta = {
+        "nodes": nodes,
+        "bb_units": bb_units,
+        "n_jobs": n_jobs,
+        "n_cells": len(tasks),
+        "repeats": max(1, repeats),
+        "serial_wall_s": serial_wall,
+    }
+    if WorkQueue is None:
+        meta["dispatch"] = "serial-only"
+        wall = serial_wall
+    else:
+        _, merged = queue_drain(execute_task)  # real end-to-end run
+        identical = all(
+            merged[key].metrics[w].full_dict() == result.metrics[w].full_dict()
+            for key, result in serial.items()
+            for w in result.metrics
+        )
+        meta.update(
+            dispatch="queue-inline",
+            overhead_fraction=wall / serial_wall
+            if serial_wall > 0
+            else float("inf"),
+            bit_identical=bool(identical),
+        )
+    return BenchResult(
+        name="dispatch_overhead",
+        wall_s=wall,
+        n_units=len(tasks),
+        meta=meta,
+    )
+
+
 #: the suite's benchmarks, in run order: name → (callable, one-line
 #: description). ``repro bench --list`` and ``--only`` are driven from
 #: this registry, so adding a benchmark here is all a future perf PR
@@ -572,6 +674,10 @@ BENCHES: dict[str, tuple] = {
         bench_batched_episodes,
         "N lockstep MRSch episodes, one batched network call per macro-step",
     ),
+    "dispatch_overhead": (
+        bench_dispatch_overhead,
+        "queue-dispatch coordination cost vs bare serial execution",
+    ),
 }
 
 #: benchmark sizings: "full" demonstrates the paper-scale claims,
@@ -584,6 +690,7 @@ SCALES: dict[str, dict] = {
         "dfp_scoring": {"n_calls": 2_000},
         "mrsch_theta_decision": {"n_decisions": 2_000, "nodes": 4392, "bb_units": 1290},
         "batched_episodes": {"n_episodes": 32, "n_jobs": 150},
+        "dispatch_overhead": {"n_jobs": 400, "n_seeds": 3},
     },
     "smoke": {
         "fcfs_replay": {"n_jobs": 1_500, "mean_interarrival": 70.0},
@@ -598,6 +705,7 @@ SCALES: dict[str, dict] = {
             "bb_units": 128,
             "repeats": 1,
         },
+        "dispatch_overhead": {"n_jobs": 400, "n_seeds": 2},
     },
 }
 

@@ -1,0 +1,104 @@
+"""Unit tests for checkpoint journal durability and torn-tail repair."""
+
+from __future__ import annotations
+
+import json
+
+from repro.exp.records import TaskResult
+from repro.exp.runner import ExperimentRunner
+from repro.sim.metrics import MetricReport
+
+
+def make_result(key: str) -> TaskResult:
+    return TaskResult(
+        key=key,
+        method="heuristic",
+        seed=7,
+        workloads=("S1",),
+        metrics={"S1": MetricReport(
+            utilization={"node": 0.8, "burst_buffer": 0.3},
+            avg_wait=12.5, avg_slowdown=1.5, max_wait=99.0,
+            p95_slowdown=2.25, makespan=1000.0, n_jobs=20,
+        )},
+        wall_time=0.1,
+    )
+
+
+class TestTornFragmentRecovery:
+    def _journal(self, tmp_path, keys, tail=""):
+        path = tmp_path / "ckpt.jsonl"
+        lines = [
+            json.dumps(make_result(key).to_json_dict(), sort_keys=True)
+            for key in keys
+        ]
+        path.write_text("".join(line + "\n" for line in lines) + tail)
+        return path, lines
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path, _ = self._journal(tmp_path, ["a", "b"], tail='{"key": "c", "met')
+        runner = ExperimentRunner(checkpoint_path=path)
+        done = runner._load_checkpoint()
+        assert set(done) == {"a", "b"}
+        assert all(r.source == "checkpoint" for r in done.values())
+
+    def test_journal_is_rewritten_without_the_fragment(self, tmp_path):
+        path, lines = self._journal(tmp_path, ["a", "b"], tail='{"torn')
+        ExperimentRunner(checkpoint_path=path)._load_checkpoint()
+        # The rewrite keeps exactly the valid lines, newline-terminated,
+        # so later appends extend a clean line instead of merging into
+        # the fragment.
+        assert path.read_text() == "".join(line + "\n" for line in lines)
+
+    def test_rewrite_is_atomic_no_temp_left_behind(self, tmp_path):
+        path, _ = self._journal(tmp_path, ["a"], tail='{"torn')
+        ExperimentRunner(checkpoint_path=path)._load_checkpoint()
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.jsonl"]
+
+    def test_clean_journal_is_not_rewritten(self, tmp_path):
+        path, _ = self._journal(tmp_path, ["a", "b"])
+        before = path.stat().st_mtime_ns
+        done = ExperimentRunner(checkpoint_path=path)._load_checkpoint()
+        assert set(done) == {"a", "b"}
+        assert path.stat().st_mtime_ns == before
+
+    def test_interior_torn_line_is_also_dropped(self, tmp_path):
+        """Corruption anywhere — not just the tail — is repaired."""
+        path, lines = self._journal(tmp_path, ["a"])
+        good = json.dumps(make_result("b").to_json_dict(), sort_keys=True)
+        path.write_text(lines[0] + "\n" + '{"key": "x", "bro\n' + good + "\n")
+        done = ExperimentRunner(checkpoint_path=path)._load_checkpoint()
+        assert set(done) == {"a", "b"}
+        assert path.read_text() == lines[0] + "\n" + good + "\n"
+
+
+class TestAppendDurability:
+    def test_append_then_load_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "ckpt.jsonl"
+        runner = ExperimentRunner(checkpoint_path=path)
+        runner._append_checkpoint(make_result("a"))
+        runner._append_checkpoint(make_result("b"))
+        done = runner._load_checkpoint()
+        assert set(done) == {"a", "b"}
+        # Two fully-terminated JSON lines on disk.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["key"] in {"a", "b"} for line in lines)
+
+    def test_append_fsyncs_the_fd(self, tmp_path, monkeypatch):
+        import os as os_mod
+
+        import repro.exp.runner as runner_mod
+
+        synced = []
+        real_fsync = os_mod.fsync
+        monkeypatch.setattr(
+            runner_mod.os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        path = tmp_path / "ckpt.jsonl"
+        runner = ExperimentRunner(checkpoint_path=path)
+        runner._append_checkpoint(make_result("a"))
+        # First create fsyncs the file *and* its directory…
+        assert len(synced) == 2
+        runner._append_checkpoint(make_result("b"))
+        # …later appends only the file.
+        assert len(synced) == 3

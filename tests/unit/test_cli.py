@@ -191,3 +191,74 @@ class TestBench:
         )
         assert code == 1
         assert "compared no benchmarks" in capsys.readouterr().err
+
+
+class TestWorkQueueCommands:
+    def _enqueue(self, tmp_path):
+        from repro.dist import WorkQueue
+        from repro.exp import grid_tasks
+        from repro.experiments.harness import ExperimentConfig
+
+        queue = WorkQueue(tmp_path / "q", lease_ttl=10.0)
+        queue.write_meta(batch_episodes=1)
+        tasks = grid_tasks(
+            ["heuristic"],
+            ["S1"],
+            ExperimentConfig(nodes=32, bb_units=16, n_jobs=15, window_size=5, seed=3),
+            n_seeds=2,
+        )
+        queue.enqueue(tasks)
+        return queue
+
+    def test_work_drains_queue(self, tmp_path, capsys):
+        queue = self._enqueue(tmp_path)
+        code = main(
+            ["work", "--queue", str(queue.root), "--worker-id", "cli-w0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worker cli-w0: 2 cell(s) executed" in out
+        assert queue.status().done == 2
+
+    def test_work_json_report(self, tmp_path, capsys):
+        queue = self._enqueue(tmp_path)
+        code = main(
+            ["work", "--queue", str(queue.root), "--json", "--max-cells", "1"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["executed"]) == 1
+        assert report["failed"] == []
+
+    def test_work_missing_queue_is_an_error(self, tmp_path, capsys):
+        assert main(["work", "--queue", str(tmp_path / "nope")]) == 1
+        assert "work queue not found" in capsys.readouterr().err
+
+    def test_queue_status_text_and_json(self, tmp_path, capsys):
+        queue = self._enqueue(tmp_path)
+        assert main(["queue-status", "--queue", str(queue.root)]) == 0
+        assert "cells: 0/2 done" in capsys.readouterr().out
+        main(["work", "--queue", str(queue.root), "--worker-id", "cli-w0"])
+        capsys.readouterr()
+        assert main(["queue-status", "--queue", str(queue.root), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["done"] == 2 and payload["pending"] == 0
+        assert payload["workers"][0]["worker_id"] == "cli-w0"
+
+    def test_run_through_queue_dispatch(self, tiny_file, tmp_path, capsys):
+        code = main(
+            ["run", tiny_file, "--queue", str(tmp_path / "q"),
+             "--workers", "2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "utilization" in payload["reports"]["S1"]["heuristic"]
+
+    def test_work_faults_file_is_loaded(self, tmp_path, capsys):
+        """A scripted fault plan file parses; bad plans are an error."""
+        queue = self._enqueue(tmp_path)
+        bad = tmp_path / "plan.json"
+        bad.write_text('{"explode": true}')
+        assert main(["work", "--queue", str(queue.root),
+                     "--faults", str(bad)]) == 1
+        assert "unknown fault plan" in capsys.readouterr().err

@@ -1,0 +1,272 @@
+"""Unit tests for the distributed dispatch layer (repro.dist)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dist.faults import FaultInjector, FaultPlan
+from repro.dist.lease import LeaseBoard
+from repro.dist.queue import MAX_ATTEMPTS, WorkQueue, fsync_append
+from repro.dist.worker import QueueWorker, new_worker_id
+from repro.exp.records import ExperimentTask, TaskResult
+from repro.exp.runner import grid_tasks
+from repro.experiments.harness import ExperimentConfig
+from repro.sim.metrics import MetricReport
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    base = dict(nodes=32, bb_units=16, n_jobs=15, window_size=5, seed=3)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def tiny_tasks(n_seeds: int = 2) -> list[ExperimentTask]:
+    return grid_tasks(["heuristic"], ["S1"], tiny_config(), n_seeds=n_seeds)
+
+
+def make_result(key: str, worker_id: str = "w0") -> TaskResult:
+    return TaskResult(
+        key=key,
+        method="heuristic",
+        seed=3,
+        workloads=("S1",),
+        metrics={"S1": MetricReport(
+            utilization={"node": 0.5, "burst_buffer": 0.2},
+            avg_wait=1.0, avg_slowdown=1.1, max_wait=2.0,
+            p95_slowdown=1.5, makespan=100.0, n_jobs=15,
+        )},
+        wall_time=0.1,
+        worker_id=worker_id,
+    )
+
+
+class TestLeaseBoard:
+    def test_claim_is_exclusive(self, tmp_path):
+        board = LeaseBoard(tmp_path, ttl=30.0)
+        assert board.try_claim("cell", "alice")
+        assert not board.try_claim("cell", "bob")
+        lease = board.read("cell")
+        assert lease.owner == "alice" and not lease.expired()
+
+    def test_renew_extends_only_for_owner(self, tmp_path):
+        board = LeaseBoard(tmp_path, ttl=30.0)
+        board.try_claim("cell", "alice", now=1000.0)
+        before = board.read("cell").expires_at
+        assert board.renew("cell", "alice", now=1010.0)
+        after = board.read("cell")
+        assert after.expires_at > before and after.renewals == 1
+        assert not board.renew("cell", "bob")
+        assert board.read("cell").owner == "alice"
+
+    def test_release_requires_ownership(self, tmp_path):
+        board = LeaseBoard(tmp_path, ttl=30.0)
+        board.try_claim("cell", "alice")
+        assert not board.release("cell", "bob")
+        assert board.read("cell") is not None
+        assert board.release("cell", "alice")
+        assert board.read("cell") is None
+
+    def test_reap_refuses_live_lease(self, tmp_path):
+        board = LeaseBoard(tmp_path, ttl=30.0)
+        board.try_claim("cell", "alice")
+        assert not board.reap("cell")
+        assert board.read("cell").owner == "alice"
+
+    def test_reap_retires_expired_lease_and_reopens_claim(self, tmp_path):
+        board = LeaseBoard(tmp_path, ttl=0.001)
+        board.try_claim("cell", "alice", now=0.0)  # expires immediately
+        assert board.reap("cell", now=1.0)
+        assert board.read("cell") is None
+        assert board.try_claim("cell", "bob")
+
+    def test_reap_is_single_winner(self, tmp_path):
+        board = LeaseBoard(tmp_path, ttl=0.001)
+        board.try_claim("cell", "alice", now=0.0)
+        assert board.reap("cell", now=1.0)
+        assert not board.reap("cell", now=1.0)  # already gone
+
+    def test_torn_lease_ages_out(self, tmp_path):
+        board = LeaseBoard(tmp_path, ttl=0.0001)
+        (tmp_path / "cell.json").write_text('{"owner": "al')  # torn claim
+        import time
+
+        time.sleep(0.01)  # age past the ttl
+        lease = board.read("cell")
+        assert lease is not None and lease.expired()
+        assert board.reap("cell")
+
+    def test_rejects_nonpositive_ttl(self, tmp_path):
+        with pytest.raises(ValueError, match="ttl"):
+            LeaseBoard(tmp_path, ttl=0.0)
+
+
+class TestWorkQueue:
+    def test_enqueue_is_idempotent(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        tasks = tiny_tasks()
+        keys = queue.enqueue(tasks)
+        assert queue.enqueue(tasks) == keys
+        assert queue.task_keys() == sorted(keys)
+
+    def test_task_spec_roundtrips_to_same_key(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        task = tiny_tasks()[0]
+        (key,) = queue.enqueue([task])
+        loaded = queue.load_task(key)
+        assert loaded.key() == key == task.key()
+        assert loaded.config == task.config
+
+    def test_publish_marks_done_and_merges(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.publish("w0", make_result("k1", "w0"))
+        assert queue.is_done("k1")
+        merged = queue.merged_results()
+        assert merged["k1"].worker_id == "w0"
+
+    def test_merge_collapses_duplicate_reissues(self, tmp_path):
+        """A straggler's duplicate publish merges away by key."""
+        queue = WorkQueue(tmp_path)
+        queue.publish("w0", make_result("k1", "w0"))
+        queue.publish("w1", make_result("k1", "w1"))
+        merged = queue.merged_results()
+        assert len(merged) == 1
+        assert merged["k1"].worker_id == "w0"  # first shard wins
+
+    def test_merge_skips_torn_tail(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.publish("w0", make_result("k1"))
+        with open(queue.shard_path("w0"), "a") as handle:
+            handle.write('{"key": "k2", "met')  # crash mid-append
+        merged = queue.merged_results()
+        assert set(merged) == {"k1"}
+
+    def test_failure_counting_and_poisoning(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        for attempt in range(MAX_ATTEMPTS):
+            assert not queue.poisoned("k1")
+            queue.record_failure("k1", f"w{attempt}", f"boom {attempt}")
+        assert queue.poisoned("k1")
+        assert queue.failures() == {"k1": MAX_ATTEMPTS}
+        assert "boom 0" in queue.failure_errors("k1")[0]
+
+    def test_meta_roundtrip(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.write_meta(trace_dir="/tmp/t", batch_episodes=4)
+        assert queue.read_meta() == {"trace_dir": "/tmp/t", "batch_episodes": 4}
+        assert WorkQueue(tmp_path / "empty").read_meta() == {}
+
+    def test_create_false_requires_existing_queue(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="work queue"):
+            WorkQueue(tmp_path / "nope", create=False)
+
+    def test_status_counts(self, tmp_path):
+        queue = WorkQueue(tmp_path, lease_ttl=30.0)
+        tasks = tiny_tasks()
+        keys = queue.enqueue(tasks)
+        queue.leases.try_claim(keys[0], "w0")
+        status = queue.status()
+        assert status.total == 2 and status.done == 0
+        assert status.leased_live == 1 and status.unclaimed == 1
+        assert status.pending == 2
+        queue.publish("w0", make_result(keys[0]))
+        queue.leases.release(keys[0], "w0")
+        status = queue.status()
+        assert status.done == 1 and status.pending == 1
+        assert "cells: 1/2 done" in status.summary()
+
+    def test_fsync_append_creates_durable_lines(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        fsync_append(path, "one")
+        fsync_append(path, "two")
+        assert path.read_text() == "one\ntwo\n"
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = FaultPlan(kill_after_claims=2, delay_publish_s=0.5)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            FaultPlan.from_json('{"explode": true}')
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError, match="kill_after_claims"):
+            FaultPlan(kill_after_claims=0)
+        with pytest.raises(ValueError, match="delay_publish_s"):
+            FaultPlan(delay_publish_s=-1.0)
+
+    def test_from_env(self, monkeypatch):
+        from repro.dist.faults import FAULTS_ENV
+
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(FAULTS_ENV, FaultPlan(kill_before_publish=1).to_json())
+        assert FaultPlan.from_env() == FaultPlan(kill_before_publish=1)
+
+    def test_heartbeat_dropping(self):
+        injector = FaultInjector(FaultPlan(drop_heartbeats_after=2))
+        assert injector.on_heartbeat() and injector.on_heartbeat()
+        assert not injector.on_heartbeat()
+        assert not injector.on_heartbeat()
+
+    def test_no_plan_is_inert(self):
+        injector = FaultInjector()
+        injector.on_claim("k")
+        injector.on_publish("k")
+        assert injector.on_heartbeat()
+
+
+class TestQueueWorker:
+    def test_drains_queue_and_publishes_provenance(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        tasks = tiny_tasks()
+        keys = queue.enqueue(tasks)
+        report = QueueWorker(queue, worker_id="solo").run()
+        assert sorted(report.executed) == sorted(keys)
+        merged = queue.merged_results()
+        for key in keys:
+            assert merged[key].worker_id == "solo"
+            assert merged[key].hostname
+        assert queue.status().done == 2
+
+    def test_max_cells_bounds_the_loop(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.enqueue(tiny_tasks())
+        report = QueueWorker(queue, worker_id="one", max_cells=1).run()
+        assert report.cells_done == 1
+        assert queue.status().done == 1
+
+    def test_respects_live_foreign_lease(self, tmp_path):
+        queue = WorkQueue(tmp_path, lease_ttl=30.0)
+        keys = queue.enqueue(tiny_tasks())
+        queue.leases.try_claim(keys[0], "other")
+        report = QueueWorker(queue, worker_id="me", max_cells=1).run()
+        assert report.executed == [keys[1]]
+        assert queue.leases.read(keys[0]).owner == "other"
+
+    def test_reaps_expired_lease_and_reexecutes(self, tmp_path):
+        queue = WorkQueue(tmp_path, lease_ttl=0.001)
+        keys = queue.enqueue(tiny_tasks(n_seeds=1))
+        queue.leases.try_claim(keys[0], "crashed", now=0.0)
+        report = QueueWorker(queue, worker_id="rescuer").run()
+        assert report.reaped == keys and report.executed == keys
+
+    def test_failing_cell_is_retried_then_poisoned(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        keys = queue.enqueue(tiny_tasks(n_seeds=1))
+
+        def explode(task, *args):
+            raise RuntimeError("scripted failure")
+
+        report = QueueWorker(queue, worker_id="doomed", execute=explode).run()
+        assert report.failed == keys * MAX_ATTEMPTS
+        assert queue.poisoned(keys[0])
+        assert not queue.is_done(keys[0])
+        assert "scripted failure" in queue.failure_errors(keys[0])[0]
+
+    def test_worker_ids_are_unique(self):
+        assert new_worker_id() != new_worker_id()
+        assert str(os.getpid()) in new_worker_id()

@@ -129,12 +129,75 @@ class TestTaskResultJson:
         legacy.pop("trace_keys")
         assert TaskResult.from_json_dict(legacy).trace_keys == ()
 
+    def test_worker_provenance_roundtrips(self):
+        result = TaskResult(
+            key="abc",
+            method="heuristic",
+            seed=7,
+            workloads=("S1",),
+            metrics={"S1": make_report()},
+            wall_time=0.5,
+            worker_id="host-123-abcdef",
+            hostname="nodeA",
+        )
+        back = TaskResult.from_json_dict(result.to_json_dict())
+        assert back.worker_id == "host-123-abcdef"
+        assert back.hostname == "nodeA"
+
+    def test_worker_provenance_legacy_default(self):
+        """Journals written before repro.dist existed still load."""
+        result = TaskResult(
+            key="abc",
+            method="heuristic",
+            seed=7,
+            workloads=("S1",),
+            metrics={"S1": make_report()},
+            wall_time=0.5,
+        )
+        legacy = result.to_json_dict()
+        legacy.pop("worker_id")
+        legacy.pop("hostname")
+        back = TaskResult.from_json_dict(legacy)
+        assert back.worker_id == ""
+        assert back.hostname == ""
+
     def test_metric_report_full_dict_roundtrip(self):
         report = make_report()
         clone = MetricReport.from_dict(report.full_dict())
         assert clone.full_dict() == report.full_dict()
         assert clone.node_util == report.node_util
         assert clone.bb_util == report.bb_util
+
+
+class TestTaskJson:
+    """Task specs round-trip through JSON (the dist queue's task files)."""
+
+    def test_roundtrip_preserves_key(self):
+        task = make_task(
+            extra=(("prior_weight", 0.5),),
+            label="H",
+            capture_traces=True,
+        )
+        back = ExperimentTask.from_json_dict(
+            json.loads(json.dumps(task.to_json_dict()))
+        )
+        assert back.key() == task.key()
+        assert back == task
+
+    def test_roundtrip_preserves_nested_config(self):
+        from repro.sched.ga import NSGA2Config
+
+        task = make_task(
+            config=ExperimentConfig(
+                nodes=64,
+                curriculum_sets=(2, 1, 1),
+                ga_config=NSGA2Config(population=12, generations=6),
+            )
+        )
+        back = ExperimentTask.from_json_dict(task.to_json_dict())
+        assert back.config == task.config
+        assert back.config.ga_config.population == 12
+        assert back.config.curriculum_sets == (2, 1, 1)
 
 
 class TestResultCache:
