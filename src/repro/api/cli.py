@@ -26,7 +26,20 @@ Four subcommands, each a thin shell over :mod:`repro.api`:
     point mid-grid.
 ``repro queue-status --queue DIR``
     One snapshot of a work queue's progress: done/leased/expired cell
-    counts, failures and the workers seen.
+    counts, failures, workers seen, and — once workers have published
+    metrics snapshots — cells/sec throughput with an ETA.
+    ``--watch N`` refreshes the snapshot every N seconds until the
+    queue drains.
+``repro trace export --telemetry DIR``
+    Convert a ``--telemetry`` run's span records into one Chrome-trace
+    JSON file that chrome://tracing and https://ui.perfetto.dev load
+    directly; ``repro trace summary`` prints span/event/metric counts.
+
+Telemetry: ``repro run --telemetry[=DIR]`` and ``repro work
+--telemetry[=DIR]`` enable the :mod:`repro.obs` instrumentation
+(structured events, spans, metrics snapshots) rooted at DIR (default
+``telemetry/``). Purely observational — decisions, metrics and cache
+keys are bit-identical with telemetry on or off.
 
 Exit codes: 0 on success, 1 on a validation/runtime error (with a
 single-line message on stderr), 2 on bad command-line usage (argparse).
@@ -100,6 +113,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="store recorded decision traces as float32 "
                             "(~half the bytes; storage fidelity only — "
                             "equivalent to evaluation.compact_traces)")
+    p_run.add_argument("--telemetry", nargs="?", const="telemetry", default=None,
+                       metavar="DIR",
+                       help="record structured telemetry (events, spans, "
+                            "metrics) under DIR (default: ./telemetry); "
+                            "export with 'repro trace export'. Decisions "
+                            "and metrics are bit-identical either way")
+    p_run.add_argument("--telemetry-decisions", action="store_true",
+                       help="additionally sample scheduler decision "
+                            "latencies (1-in-64) into the telemetry "
+                            "metrics; requires --telemetry")
+    p_run.add_argument("--no-progress", action="store_true",
+                       help="suppress the live stderr progress line "
+                            "(auto-suppressed off-TTY and with --json)")
     p_run.add_argument("--json", action="store_true", help="machine-readable output")
 
     p_cmp = sub.add_parser("compare", help="run an inline comparison grid")
@@ -212,6 +238,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("--faults", default=None, metavar="FILE",
                         help="scripted FaultPlan JSON file (fault-injection "
                              "testing; REPRO_DIST_FAULTS env overrides)")
+    p_work.add_argument("--telemetry", nargs="?", const="telemetry", default=None,
+                        metavar="DIR",
+                        help="record structured telemetry under DIR; a "
+                             "queue whose coordinator enabled telemetry "
+                             "turns this on automatically via meta.json")
+    p_work.add_argument("-v", "--verbose", action="count", default=0,
+                        help="stderr log level: -v lifecycle events (INFO), "
+                             "-vv everything (DEBUG); default WARNING "
+                             "(reaps, straggles, failures)")
+    p_work.add_argument("-q", "--quiet", action="store_true",
+                        help="errors only on stderr")
     p_work.add_argument("--json", action="store_true",
                         help="machine-readable exit report")
 
@@ -221,8 +258,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_qstat.add_argument("--queue", required=True, metavar="DIR",
                          help="the work-queue directory")
+    p_qstat.add_argument("--watch", type=float, default=None, metavar="S",
+                         help="refresh the snapshot every S seconds until "
+                              "the queue drains (throughput/ETA appear "
+                              "once workers publish metrics snapshots)")
     p_qstat.add_argument("--json", action="store_true",
-                         help="machine-readable output")
+                         help="machine-readable output (one JSON document "
+                              "per refresh with --watch)")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="export or summarize a telemetry run",
+        description="Work with the telemetry directory a '--telemetry' run "
+                    "wrote. 'export' merges the span records (and, by "
+                    "default, the structured events as instant markers) "
+                    "into one Chrome-trace JSON file loadable in "
+                    "chrome://tracing or https://ui.perfetto.dev; "
+                    "'summary' prints span/event/metric roll-ups.",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    t_export = trace_sub.add_parser(
+        "export", help="write a Chrome-trace/Perfetto JSON file"
+    )
+    t_export.add_argument("--telemetry", required=True, metavar="DIR",
+                          help="telemetry directory of a --telemetry run")
+    t_export.add_argument("--out", default=None, metavar="FILE",
+                          help="output path (default: DIR/trace.json)")
+    t_export.add_argument("--no-events", action="store_true",
+                          help="omit structured events (instant markers)")
+    t_summary = trace_sub.add_parser(
+        "summary", help="print span/event/metric counts for a telemetry run"
+    )
+    t_summary.add_argument("--telemetry", required=True, metavar="DIR",
+                           help="telemetry directory of a --telemetry run")
+    t_summary.add_argument("--json", action="store_true",
+                           help="machine-readable output")
 
     return parser
 
@@ -283,14 +353,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if overrides:
         scenario = scenario.replace(**overrides)
 
-    result = run_scenario(
-        scenario,
-        n_workers=args.workers,
-        cache_dir=args.cache_dir,
-        checkpoint_path=args.checkpoint,
-        trace_dir=args.trace_dir,
-        queue_dir=args.queue,
-    )
+    if args.telemetry_decisions and args.telemetry is None:
+        raise ValueError(
+            "--telemetry-decisions samples into the telemetry metrics; "
+            "enable them with --telemetry[=DIR]"
+        )
+    telemetry = None
+    if args.telemetry is not None:
+        import repro.obs as obs
+
+        telemetry = obs.enable(
+            args.telemetry, sample_decisions=args.telemetry_decisions
+        )
+    try:
+        result = run_scenario(
+            scenario,
+            n_workers=args.workers,
+            cache_dir=args.cache_dir,
+            checkpoint_path=args.checkpoint,
+            trace_dir=args.trace_dir,
+            queue_dir=args.queue,
+            # --json output must stay byte-clean even on a TTY.
+            progress=False if (args.json or args.no_progress) else None,
+        )
+    finally:
+        if telemetry is not None:
+            import repro.obs as obs
+
+            obs.disable()
     if args.json:
         print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
     else:
@@ -301,6 +391,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{n_cells} cell(s), {wall:.1f} s task time\n"
         )
         print(result.summary())
+        if telemetry is not None and telemetry.directory is not None:
+            print(
+                f"\ntelemetry written to {telemetry.directory} "
+                f"(export: repro trace export --telemetry "
+                f"{telemetry.directory})"
+            )
     return 0
 
 
@@ -481,7 +577,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_work(args: argparse.Namespace) -> int:
     from repro.dist import FaultPlan, QueueWorker, WorkQueue
+    from repro.obs.logbridge import configure_stderr_logging
 
+    configure_stderr_logging(verbose=args.verbose, quiet=args.quiet)
+    if args.telemetry is not None:
+        import repro.obs as obs
+
+        obs.enable(args.telemetry)
     plan = FaultPlan.from_env()
     if plan is None and args.faults:
         from pathlib import Path
@@ -497,6 +599,12 @@ def _cmd_work(args: argparse.Namespace) -> int:
         faults=plan,
     )
     report = worker.run()
+    # The worker may also have enabled telemetry from the queue's
+    # meta.json; either way, flush and close before reporting.
+    import repro.obs as obs
+
+    if obs.enabled():
+        obs.disable()
     if args.json:
         print(json.dumps({
             "worker_id": report.worker_id,
@@ -515,13 +623,87 @@ def _cmd_work(args: argparse.Namespace) -> int:
 
 
 def _cmd_queue_status(args: argparse.Namespace) -> int:
+    import time
+
     from repro.dist import WorkQueue
 
-    status = WorkQueue(args.queue, create=False).status()
+    queue = WorkQueue(args.queue, create=False)
+
+    def show(status) -> None:
+        if args.json:
+            print(json.dumps(status.to_json_dict(), indent=2, sort_keys=True))
+        else:
+            print(status.summary())
+
+    if args.watch is None:
+        show(queue.status())
+        return 0
+    if args.watch <= 0:
+        raise ValueError("--watch interval must be positive seconds")
+    clear = sys.stdout.isatty() and not args.json
+    while True:
+        status = queue.status()
+        if clear:
+            # Home + clear-to-end keeps one live panel instead of a
+            # scrolling log; off-TTY we just append snapshots.
+            sys.stdout.write("\x1b[H\x1b[2J")
+        show(status)
+        if not args.json:
+            print(f"(refreshing every {args.watch:g}s; ctrl-c to stop)")
+        sys.stdout.flush()
+        if status.pending == 0:
+            return 0
+        time.sleep(args.watch)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "export":
+        from repro.obs import export_chrome_trace
+
+        out = export_chrome_trace(
+            args.telemetry, args.out, include_events=not args.no_events
+        )
+        print(f"wrote {out}")
+        return 0
+
+    # summary
+    from collections import Counter as _Counter
+    from pathlib import Path
+
+    from repro.obs import load_spans, merge_snapshots, read_events
+
+    directory = Path(args.telemetry)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"telemetry directory not found: {directory}")
+    spans = load_spans(directory)
+    events = read_events(directory)
+    snapshots = []
+    for path in sorted(directory.glob("metrics-*.json")):
+        try:
+            snapshots.append(json.loads(path.read_text()))
+        except (json.JSONDecodeError, OSError):
+            continue
+    metrics = merge_snapshots(snapshots)
+    span_names = _Counter(s["name"] for s in spans)
+    event_names = _Counter(e.get("event", "?") for e in events)
     if args.json:
-        print(json.dumps(status.to_json_dict(), indent=2, sort_keys=True))
-    else:
-        print(status.summary())
+        print(json.dumps(
+            {"spans": dict(span_names),
+             "events": dict(event_names),
+             "metrics": metrics},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(f"telemetry {directory}: {len(spans)} span(s), "
+          f"{len(events)} event(s), {len(snapshots)} metrics snapshot(s)")
+    for name, count in sorted(span_names.items()):
+        print(f"  span   {name:<14} ×{count}")
+    for name, count in sorted(event_names.items()):
+        print(f"  event  {name:<14} ×{count}")
+    for name, value in metrics.get("counters", {}).items():
+        print(f"  count  {name:<28} {value}")
+    for name, hist in metrics.get("histograms", {}).items():
+        print(f"  hist   {name:<28} n={hist.get('count', 0)}")
     return 0
 
 
@@ -533,6 +715,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "work": _cmd_work,
     "queue-status": _cmd_queue_status,
+    "trace": _cmd_trace,
 }
 
 

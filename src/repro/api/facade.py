@@ -143,6 +143,7 @@ def run_scenario(
     checkpoint_path: str | os.PathLike | None = None,
     trace_dir: str | os.PathLike | None = None,
     queue_dir: str | os.PathLike | None = None,
+    progress: bool | None = None,
 ) -> ScenarioResult:
     """Load, compile and execute a scenario on the experiment engine.
 
@@ -233,6 +234,7 @@ def run_scenario(
         dispatch=dispatch,
         queue_dir=effective_queue_dir if dispatch == "queue" else None,
         lease_ttl=float(execution.get("lease_ttl", 30.0)),
+        progress=progress,
     )
     tasks = scenario.compile(config=config)
     results = runner.run(tasks)

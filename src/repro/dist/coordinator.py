@@ -28,8 +28,13 @@ from repro.dist.faults import FaultPlan
 from repro.dist.queue import WorkQueue
 from repro.dist.worker import QueueWorker
 from repro.exp.records import ExperimentTask, TaskResult
+from repro.obs import runtime as _obs_runtime
+from repro.obs.logbridge import get_logger, kv
+from repro.obs.metrics import merge_snapshots
 
 __all__ = ["dispatch_tasks", "worker_process_entry"]
+
+_log = get_logger("repro.dist.coordinator")
 
 
 def worker_process_entry(
@@ -85,13 +90,26 @@ def dispatch_tasks(
     :class:`FaultPlan`\\ s with local worker indices (testing/CI only).
     """
     queue = WorkQueue(queue_dir, lease_ttl=lease_ttl)
+    session = _obs_runtime.session
+    telemetry_dir = (
+        str(session.directory)
+        if session is not None and session.directory is not None
+        else None
+    )
     queue.write_meta(
         trace_dir=trace_dir,
         trace_compact=bool(trace_compact),
         batch_episodes=int(batch_episodes),
+        # Late-joining `repro work` processes follow the coordinator's
+        # telemetry directory without per-worker flags.
+        **({"telemetry": telemetry_dir} if telemetry_dir else {}),
     )
     keys = queue.enqueue(tasks)
     key_set = set(keys)
+    _log.info(
+        "grid enqueued",
+        extra=kv(queue=str(queue.root), cells=len(key_set), workers=n_workers),
+    )
 
     from repro.api.registry import registration_modules
 
@@ -124,14 +142,27 @@ def dispatch_tasks(
 
     try:
         fallback_deadline: float | None = None
-        while outstanding():
+        while True:
+            pending = outstanding()
+            if not pending:
+                break
+            if session is not None:
+                session.metrics.gauge("dist.pending").set(len(pending))
             now = time.time()
             for lease in queue.leases.leases():
                 if lease.key in key_set and lease.expired(now):
-                    queue.leases.reap(lease.key, now)
-            poisoned = [k for k in outstanding() if queue.poisoned(k)]
+                    if queue.leases.reap(lease.key, now):
+                        _log.warning(
+                            "coordinator reaped expired lease",
+                            extra=kv(key=lease.key, owner=lease.owner),
+                        )
+            poisoned = [k for k in pending if queue.poisoned(k)]
             if poisoned:
                 errors = queue.failure_errors(poisoned[0])
+                _log.error(
+                    "poisoned cell(s) withdrew the grid",
+                    extra=kv(poisoned=len(poisoned), first_key=poisoned[0]),
+                )
                 raise RuntimeError(
                     f"{len(poisoned)} queue cell(s) failed "
                     f"{queue.failure_count(poisoned[0])} attempt(s) and were "
@@ -144,7 +175,16 @@ def dispatch_tasks(
                 # then drain inline so the dispatch always terminates.
                 if fallback_deadline is None:
                     fallback_deadline = now + lease_ttl
+                    _log.warning(
+                        "all local workers exited with cells pending; "
+                        "waiting one lease ttl for elastic pickup",
+                        extra=kv(pending=len(pending), ttl_s=lease_ttl),
+                    )
                 elif now >= fallback_deadline and inline_fallback:
+                    _log.warning(
+                        "no elastic worker appeared; draining inline",
+                        extra=kv(pending=len(pending)),
+                    )
                     QueueWorker(queue, worker_id=f"coord-{os.getpid()}").run()
                     break
             else:
@@ -164,4 +204,22 @@ def dispatch_tasks(
             f"queue dispatch finished with {len(missing)} unpublished "
             f"cell(s): {missing[:4]}{'…' if len(missing) > 4 else ''}"
         )
+    if session is not None:
+        session.metrics.gauge("dist.pending").set(0)
+        # Roll the workers' published snapshots up into one aggregate
+        # beside the coordinator's own metrics (counters/histograms add,
+        # gauges latest-wins).
+        aggregate = merge_snapshots(queue.worker_metrics())
+        if session.directory is not None:
+            import json
+
+            (session.directory / "metrics-queue.json").write_text(
+                json.dumps(aggregate, sort_keys=True)
+            )
+        session.event(
+            "queue_done",
+            cells=len(keys),
+            workers_merged=aggregate.get("merged_from", 0),
+        )
+    _log.info("grid drained", extra=kv(cells=len(keys)))
     return {k: merged[k] for k in keys}

@@ -11,6 +11,7 @@ filesystem)::
       failed/<key>-<attempt>.json    # per-attempt execution failures
       results/journal-<worker>.jsonl # per-worker journal shards
       workers/<worker>.json          # worker registration + heartbeat
+      metrics/<worker>.json          # per-worker metrics snapshots
 
 Cells are written once — by the coordinator or by any worker running the
 same deterministic :func:`~repro.exp.runner.grid_tasks` expansion; the
@@ -85,6 +86,10 @@ class QueueStatus:
     unclaimed: int
     failed_keys: dict[str, int] = field(default_factory=dict)
     workers: list[dict] = field(default_factory=list)
+    #: aggregate throughput from the workers' metrics snapshots
+    #: (None when no worker has published a snapshot yet)
+    cells_per_sec: float | None = None
+    eta_s: float | None = None
 
     @property
     def pending(self) -> int:
@@ -100,6 +105,8 @@ class QueueStatus:
             "unclaimed": self.unclaimed,
             "failed": dict(self.failed_keys),
             "workers": list(self.workers),
+            "cells_per_sec": self.cells_per_sec,
+            "eta_s": self.eta_s,
         }
 
     def summary(self) -> str:
@@ -108,6 +115,13 @@ class QueueStatus:
             f"{self.leased_live} leased, {self.leased_expired} expired-lease, "
             f"{self.unclaimed} unclaimed"
         ]
+        if self.cells_per_sec is not None:
+            line = f"throughput: {self.cells_per_sec:.2f} cells/s"
+            if self.eta_s is not None:
+                from repro.obs.progress import format_duration
+
+                line += f", eta {format_duration(self.eta_s)}"
+            lines.append(line)
         if self.failed_keys:
             worst = max(self.failed_keys.values())
             lines.append(
@@ -143,10 +157,11 @@ class WorkQueue:
         self.failed_dir = self.root / "failed"
         self.results_dir = self.root / "results"
         self.workers_dir = self.root / "workers"
+        self.metrics_dir = self.root / "metrics"
         if create:
             for path in (
                 self.root, self.tasks_dir, self.done_dir, self.failed_dir,
-                self.results_dir, self.workers_dir,
+                self.results_dir, self.workers_dir, self.metrics_dir,
             ):
                 path.mkdir(parents=True, exist_ok=True)
         self.leases = LeaseBoard(self.root / "leases", ttl=lease_ttl)
@@ -301,6 +316,51 @@ class WorkQueue:
                 continue
         return out
 
+    # -- worker metrics snapshots ------------------------------------------
+
+    def write_worker_metrics(self, worker_id: str, snapshot: dict) -> None:
+        """Publish one worker's metrics snapshot (atomic last-wins).
+
+        Workers write these unconditionally (telemetry on or off) — they
+        are how ``repro queue-status --watch`` computes throughput and
+        ETA, and what a telemetry-enabled coordinator aggregates via
+        :func:`repro.obs.metrics.merge_snapshots`.
+        """
+        # Queues created before metrics snapshots existed lack the dir.
+        self.metrics_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.metrics_dir / f"{worker_id}.json", snapshot)
+
+    def worker_metrics(self) -> list[dict]:
+        """Every worker's latest metrics snapshot (missing dir → [])."""
+        out = []
+        for path in sorted(self.metrics_dir.glob("*.json")):
+            try:
+                out.append(json.loads(path.read_text()))
+            except (json.JSONDecodeError, OSError):
+                continue
+        return out
+
+    def _throughput(self, pending: int) -> tuple[float | None, float | None]:
+        """(cells/sec, eta seconds) from the workers' snapshots.
+
+        Each snapshot contributes its worker's own lifetime rate; rates
+        add because the workers execute concurrently. Exited workers
+        stop contributing once any live worker has a snapshot, so the
+        ETA tracks the surviving capacity of an elastic pool.
+        """
+        snaps = self.worker_metrics()
+        live = [s for s in snaps if not s.get("exited")]
+        rate = 0.0
+        for snap in live or snaps:
+            elapsed = float(snap.get("t", 0.0)) - float(snap.get("started_at", 0.0))
+            cells = int(snap.get("cells_done", 0))
+            if elapsed > 0.0 and cells > 0:
+                rate += cells / elapsed
+        if rate <= 0.0:
+            return (None, None)
+        eta = pending / rate if pending > 0 else 0.0
+        return (rate, eta)
+
     # -- status -----------------------------------------------------------
 
     def status(self) -> QueueStatus:
@@ -318,12 +378,16 @@ class WorkQueue:
             else:
                 live += 1
         unclaimed = sum(1 for k in keys if k not in done and k not in claimed)
+        n_done = sum(1 for k in keys if k in done)
+        rate, eta = self._throughput(pending=len(keys) - n_done)
         return QueueStatus(
             total=len(keys),
-            done=sum(1 for k in keys if k in done),
+            done=n_done,
             leased_live=live,
             leased_expired=expired,
             unclaimed=unclaimed,
             failed_keys=self.failures(),
             workers=self.workers(),
+            cells_per_sec=rate,
+            eta_s=eta,
         )

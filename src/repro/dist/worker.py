@@ -25,8 +25,13 @@ from dataclasses import dataclass, field
 from repro.dist.faults import FaultInjector, FaultPlan
 from repro.dist.queue import WorkQueue
 from repro.exp.tasks import execute_task
+from repro.obs.events import bind
+from repro.obs.logbridge import get_logger, kv
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["QueueWorker", "WorkerReport", "Heartbeat", "new_worker_id"]
+
+_log = get_logger("repro.dist.worker")
 
 
 def new_worker_id() -> str:
@@ -47,6 +52,7 @@ class Heartbeat(threading.Thread):
         owner: str,
         interval: float,
         faults: FaultInjector,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(name=f"heartbeat-{key[:8]}", daemon=True)
         self.queue = queue
@@ -54,6 +60,7 @@ class Heartbeat(threading.Thread):
         self.owner = owner
         self.interval = interval
         self.faults = faults
+        self.metrics = metrics
         self._halt = threading.Event()
         #: False once a renewal was refused (lease reaped + re-claimed);
         #: execution continues — the publish is idempotent — but the
@@ -64,7 +71,17 @@ class Heartbeat(threading.Thread):
         while not self._halt.wait(self.interval):
             if not self.faults.on_heartbeat():
                 continue  # scripted heartbeat loss: skip the renewal
-            if not self.queue.leases.renew(self.key, self.owner):
+            if self.queue.leases.renew(self.key, self.owner):
+                if self.metrics is not None:
+                    self.metrics.counter("lease.renews").inc()
+            else:
+                if self.owned:
+                    _log.warning(
+                        "lease renewal refused; continuing as straggler",
+                        extra=kv(key=self.key, worker_id=self.owner),
+                    )
+                if self.metrics is not None:
+                    self.metrics.counter("lease.renew_refused").inc()
                 self.owned = False
 
     def stop(self) -> None:
@@ -145,27 +162,75 @@ class QueueWorker:
         )
         self.execute = execute if execute is not None else execute_task
         self.report = WorkerReport(worker_id=self.worker_id)
+        #: always-on private registry, published to the queue's
+        #: ``metrics/`` dir so throughput/ETA work without --telemetry
+        self.metrics = MetricsRegistry()
+        self._started_at = time.time()
+        #: mid-run snapshot publishes are throttled so sub-second cells
+        #: don't pay one atomic JSON write each (exit always publishes)
+        self.metrics_publish_interval = 0.5
+        self._metrics_published_at = 0.0
 
     # -- the loop ---------------------------------------------------------
 
     def run(self) -> WorkerReport:
         """Work until the queue drains (or ``wait_for_work`` forever)."""
         meta = self.queue.read_meta()
+        telemetry = meta.get("telemetry")
+        if telemetry:
+            # The enqueuer asked for telemetry: late-joining workers
+            # follow the shared directory (no-op if already enabled).
+            import repro.obs as obs
+
+            obs.enable(telemetry)
+        self._started_at = time.time()
         self.queue.register_worker(self.worker_id, cells_done=0)
-        while True:
-            progress = self._scan_once(meta)
-            if self.max_cells is not None and (
-                len(self.report.executed) >= self.max_cells
-            ):
-                break
-            if not progress:
-                if self._drained() and not self.wait_for_work:
+        with bind(worker_id=self.worker_id):
+            _log.info(
+                "worker started",
+                extra=kv(queue=str(self.queue.root), wait=self.wait_for_work),
+            )
+            while True:
+                progress = self._scan_once(meta)
+                if self.max_cells is not None and (
+                    len(self.report.executed) >= self.max_cells
+                ):
                     break
-                time.sleep(self.poll_interval)
-        self.queue.register_worker(
-            self.worker_id, cells_done=self.report.cells_done, exited=True
-        )
+                if not progress:
+                    if self._drained() and not self.wait_for_work:
+                        break
+                    time.sleep(self.poll_interval)
+            self.queue.register_worker(
+                self.worker_id, cells_done=self.report.cells_done, exited=True
+            )
+            self._publish_metrics(exited=True)
+            _log.info(
+                "worker exiting",
+                extra=kv(
+                    executed=len(self.report.executed),
+                    reaped=len(self.report.reaped),
+                    straggled=len(self.report.straggled),
+                    failed=len(self.report.failed),
+                ),
+            )
         return self.report
+
+    def _publish_metrics(self, exited: bool = False) -> None:
+        now = time.time()
+        if not exited and (
+            now - self._metrics_published_at < self.metrics_publish_interval
+        ):
+            return
+        self._metrics_published_at = now
+        self.queue.write_worker_metrics(
+            self.worker_id,
+            self.metrics.snapshot(
+                worker_id=self.worker_id,
+                started_at=self._started_at,
+                cells_done=self.report.cells_done,
+                exited=exited,
+            ),
+        )
 
     def _drained(self) -> bool:
         """No cell left that this worker could ever make progress on.
@@ -192,12 +257,24 @@ class QueueWorker:
                 if not self.queue.leases.reap(key):
                     continue  # lost the reap race or the owner renewed
                 self.report.reaped.append(key)
+                self.metrics.counter("lease.reaps").inc()
+                _log.warning(
+                    "reaped expired lease",
+                    extra=kv(key=key, prev_owner=lease.owner),
+                )
             if not self.queue.leases.try_claim(key, self.worker_id):
                 continue
             if self.queue.is_done(key):
                 # Raced a straggler's publish between scan and claim.
                 self.queue.leases.release(key, self.worker_id)
+                self.metrics.counter("queue.straggler_dedupes").inc()
+                _log.info(
+                    "claim raced a straggler's publish; released",
+                    extra=kv(key=key),
+                )
                 continue
+            self.metrics.counter("lease.claims").inc()
+            _log.info("claimed cell", extra=kv(key=key))
             self.faults.on_claim(key)
             self._execute_cell(key, meta)
             return True
@@ -205,9 +282,11 @@ class QueueWorker:
 
     def _execute_cell(self, key: str, meta: dict) -> None:
         heartbeat = Heartbeat(
-            self.queue, key, self.worker_id, self.heartbeat_interval, self.faults
+            self.queue, key, self.worker_id, self.heartbeat_interval, self.faults,
+            metrics=self.metrics,
         )
         heartbeat.start()
+        t0 = time.perf_counter()
         try:
             result = self.execute(
                 self.queue.load_task(key),
@@ -216,19 +295,42 @@ class QueueWorker:
                 int(meta.get("batch_episodes", 1)),
             )
         except Exception:
+            # Record-and-continue is deliberate (the lease protocol
+            # re-issues the cell elsewhere; MAX_ATTEMPTS poisons a
+            # deterministic failure) — but never silently.
             heartbeat.stop()
             self.report.failed.append(key)
-            self.queue.record_failure(
+            self.metrics.counter("queue.failures").inc()
+            attempts = self.queue.record_failure(
                 key, self.worker_id, traceback.format_exc(limit=20)
             )
+            _log.exception(
+                "cell execution failed",
+                extra=kv(key=key, attempts=attempts),
+            )
             self.queue.leases.release(key, self.worker_id)
+            self._publish_metrics()
             return
         heartbeat.stop()
         if not heartbeat.owned:
             self.report.straggled.append(key)
+            self.metrics.counter("queue.straggles").inc()
+            _log.warning(
+                "publishing as straggler (lease was reaped mid-execution)",
+                extra=kv(key=key),
+            )
         result.worker_id = self.worker_id
         self.faults.on_publish(key)
         self.queue.publish(self.worker_id, result)
         self.queue.leases.release(key, self.worker_id)
         self.report.executed.append(key)
+        self.metrics.counter("queue.cells_executed").inc()
+        self.metrics.histogram("queue.cell_wall_s").observe(
+            time.perf_counter() - t0
+        )
         self.queue.register_worker(self.worker_id, cells_done=self.report.cells_done)
+        self._publish_metrics()
+        _log.info(
+            "published cell",
+            extra=kv(key=key, wall_s=round(result.wall_time, 3)),
+        )

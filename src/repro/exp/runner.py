@@ -22,6 +22,7 @@ locks this down). Grid seeds are spawned per-cell from one root
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
 import multiprocessing
@@ -38,6 +39,8 @@ import numpy as np
 from repro.exp.cache import ResultCache
 from repro.exp.records import ExperimentTask, TaskResult
 from repro.exp.tasks import execute_task
+from repro.obs import runtime as _obs_runtime
+from repro.obs.progress import ProgressLine
 
 if TYPE_CHECKING:
     from repro.experiments.harness import ExperimentConfig
@@ -174,6 +177,12 @@ class ExperimentRunner:
     worker_faults:
         Scripted :class:`~repro.dist.faults.FaultPlan` per local queue
         worker index (fault-injection tests/CI only).
+    progress:
+        Live one-line stderr progress (done/total cells, recalled
+        count, elapsed/ETA) for the serial and pool paths. ``None``
+        (default) auto-enables only when stderr is a TTY, so piped
+        runs, CI logs and ``--json`` output stay clean; ``True``/
+        ``False`` force it. Purely cosmetic — never touches results.
     """
 
     def __init__(
@@ -189,6 +198,7 @@ class ExperimentRunner:
         queue_dir: str | os.PathLike | None = None,
         lease_ttl: float = 30.0,
         worker_faults: Sequence | None = None,
+        progress: bool | None = None,
     ) -> None:
         if n_workers is None:
             n_workers = os.cpu_count() or 1
@@ -227,8 +237,11 @@ class ExperimentRunner:
         if batch_episodes < 1:
             raise ValueError("batch_episodes must be >= 1")
         self.batch_episodes = batch_episodes
+        self.progress = progress
         #: keys already present in the journal during the current run()
         self._journaled_keys: set[str] = set()
+        self._progress_line: ProgressLine | None = None
+        self._recalled = 0
 
     # -- checkpointing ----------------------------------------------------
 
@@ -301,32 +314,66 @@ class ExperimentRunner:
             for k, v in journaled.items()
             if k in key_set and self._traces_ok(tasks_by_key[k], v)
         }
-        if self.cache is not None:
-            for key in keys:
-                if key not in resolved:
-                    hit = self.cache.get(key)
-                    if hit is not None and self._traces_ok(tasks_by_key[key], hit):
-                        self._record(resolved, hit)
+        session = _obs_runtime.session
+        if session is not None:
+            session.event(
+                "run_start",
+                cells=len(key_set),
+                journaled=len(resolved),
+                dispatch=self.dispatch,
+                workers=self.n_workers,
+            )
+            session.metrics.gauge("runner.cells_total").set(len(key_set))
+            session.metrics.counter("runner.checkpoint_hits").inc(len(resolved))
+        self._progress_line = ProgressLine(len(key_set), enabled=self.progress)
+        self._recalled = len(resolved)
+        self._progress_line.update(len(resolved), recalled=self._recalled)
+        try:
+            if self.cache is not None:
+                for key in keys:
+                    if key not in resolved:
+                        hit = self.cache.get(key)
+                        if hit is not None and self._traces_ok(tasks_by_key[key], hit):
+                            self._record(resolved, hit)
 
-        pending: dict[str, ExperimentTask] = {}
-        for task, key in zip(tasks, keys):
-            if key not in resolved and key not in pending:
-                pending[key] = task
+            pending: dict[str, ExperimentTask] = {}
+            for task, key in zip(tasks, keys):
+                if key not in resolved and key not in pending:
+                    pending[key] = task
 
-        if pending:
-            trace_dir = str(self.trace_dir) if self.trace_dir is not None else None
-            if self.dispatch == "queue":
-                self._run_queue(pending, resolved, trace_dir)
-            elif self.n_workers == 1 or len(pending) == 1:
-                for key, task in pending.items():
-                    self._record(
-                        resolved,
-                        execute_task(
-                            task, trace_dir, self.trace_compact, self.batch_episodes
-                        ),
-                    )
-            else:
-                self._run_pool(pending, resolved, trace_dir)
+            if pending:
+                trace_dir = str(self.trace_dir) if self.trace_dir is not None else None
+                with (
+                    session.span("run", cells=len(pending), dispatch=self.dispatch)
+                    if session is not None
+                    else contextlib.nullcontext()
+                ):
+                    if self.dispatch == "queue":
+                        self._run_queue(pending, resolved, trace_dir)
+                    elif self.n_workers == 1 or len(pending) == 1:
+                        for key, task in pending.items():
+                            self._record(
+                                resolved,
+                                execute_task(
+                                    task,
+                                    trace_dir,
+                                    self.trace_compact,
+                                    self.batch_episodes,
+                                ),
+                            )
+                    else:
+                        self._run_pool(pending, resolved, trace_dir)
+        finally:
+            line, self._progress_line = self._progress_line, None
+            line.close()
+        if session is not None:
+            session.event(
+                "run_done",
+                cells=len(key_set),
+                recalled=self._recalled,
+                executed=len(key_set) - self._recalled,
+            )
+            session.write_metrics()
 
         # Backfill checkpoint-restored cells into the cache so the two
         # recall layers stay symmetric: every resolved cell ends up in
@@ -353,6 +400,25 @@ class ExperimentRunner:
             self._journaled_keys.add(result.key)
         if self.cache is not None and result.source == "run":
             self.cache.put(result)
+        if result.source != "run":
+            self._recalled += 1
+        if self._progress_line is not None:
+            self._progress_line.update(len(resolved), recalled=self._recalled)
+        session = _obs_runtime.session
+        if session is not None:
+            counter = {
+                "cache": "runner.cache_hits",
+                "checkpoint": "runner.checkpoint_hits",
+            }.get(result.source, "runner.cells_run")
+            session.metrics.counter(counter).inc()
+            session.event(
+                "cell_done",
+                key=result.key,
+                method=result.method,
+                seed=result.seed,
+                source=result.source,
+                wall_s=result.wall_time,
+            )
 
     def _traces_ok(self, task: ExperimentTask, result: TaskResult) -> bool:
         """Whether a recalled result's trace artifacts are all usable.

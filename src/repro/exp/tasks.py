@@ -19,11 +19,13 @@ trace artifacts exist before recalling a result.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
 import time
 
 from repro.exp.records import ExperimentTask, TaskResult
+from repro.obs import runtime as _obs_runtime
 
 __all__ = ["execute_task"]
 
@@ -57,16 +59,65 @@ def execute_task(
     either way. Trace-capturing cells always run sequentially (the
     trace recorder is a per-scheduler attachment).
     """
+    t0 = time.perf_counter()
+    config = task.config
+    if task.seed != config.seed:
+        config = dataclasses.replace(config, seed=task.seed)
+
+    task_key = task.key()
+    # One cell span (build → train → evaluate) with the cell key bound
+    # into every event/log record emitted inside — including those from
+    # a pool worker, whose fork-aware sink files this span lands in.
+    obs_session = _obs_runtime.session
+    _cell_obs = contextlib.ExitStack()
+    if obs_session is not None:
+        from repro.obs.events import bind
+
+        _cell_obs.enter_context(bind(key=task_key, method=task.method, seed=task.seed))
+        _cell_obs.enter_context(
+            obs_session.span(
+                "cell",
+                key=task_key,
+                method=task.method,
+                seed=task.seed,
+                workloads=len(task.workloads),
+                train=task.train,
+            )
+        )
+    with _cell_obs:
+        result = _execute_task_body(
+            task, config, task_key, obs_session, t0,
+            trace_dir, trace_compact, batch_episodes,
+        )
+    if obs_session is not None:
+        obs_session.metrics.counter("cells.executed").inc()
+        obs_session.metrics.histogram("cell.wall_s").observe(result.wall_time)
+        # Persist this process's snapshot per cell: pool children have no
+        # other flush point before the pool tears them down.
+        obs_session.write_metrics()
+    return result
+
+
+def _execute_task_body(
+    task: ExperimentTask,
+    config,
+    task_key: str,
+    obs_session,
+    t0: float,
+    trace_dir: "str | os.PathLike | None",
+    trace_compact: bool,
+    batch_episodes: int,
+) -> TaskResult:
     # Imported lazily: repro.experiments.harness imports the runner, and
     # worker processes should only pay for what the task touches.
     from repro.experiments.harness import make_method, prepare_base_trace, train_method
     from repro.sim.simulator import Simulator
     from repro.workload.suites import build_case_study_workload, build_workload, powered_system
 
-    t0 = time.perf_counter()
-    config = task.config
-    if task.seed != config.seed:
-        config = dataclasses.replace(config, seed=task.seed)
+    def workload_span(name: str):
+        if obs_session is None:
+            return contextlib.nullcontext()
+        return obs_session.span("workload", workload=name)
 
     base = prepare_base_trace(config)
     system = config.system()
@@ -75,7 +126,12 @@ def execute_task(
 
     sched = make_method(task.method, eval_system, config, **dict(task.extra))
     if task.train:
-        train_method(sched, eval_system, config)
+        with (
+            obs_session.span("train", method=task.method)
+            if obs_session is not None
+            else contextlib.nullcontext()
+        ):
+            train_method(sched, eval_system, config)
 
     recorder = store = None
     if task.capture_traces:
@@ -92,7 +148,6 @@ def execute_task(
         # exploration-heavy) never pollute the evaluation traces.
         sched.decision_recorder = recorder
 
-    task_key = task.key()
     trace_keys: list[str] = []
     metrics = {}
 
@@ -116,13 +171,19 @@ def execute_task(
         for i in range(0, len(names), batch):
             chunk = names[i : i + batch]
             if len(chunk) == 1:
-                metrics[chunk[0]] = (
-                    Simulator(eval_system, sched).run(jobsets[chunk[0]]).metrics
-                )
+                with workload_span(chunk[0]):
+                    metrics[chunk[0]] = (
+                        Simulator(eval_system, sched).run(jobsets[chunk[0]]).metrics
+                    )
                 continue
             sim = BatchedSimulator.for_scheduler(eval_system, sched, len(chunk))
-            for workload, result in zip(chunk, sim.run([jobsets[w] for w in chunk])):
-                metrics[workload] = result.metrics
+            with (
+                obs_session.span("lockstep", episodes=len(chunk))
+                if obs_session is not None
+                else contextlib.nullcontext()
+            ):
+                for workload, result in zip(chunk, sim.run([jobsets[w] for w in chunk])):
+                    metrics[workload] = result.metrics
     else:
         for workload in task.workloads:
             jobs = build_jobs(workload)
@@ -133,7 +194,8 @@ def execute_task(
                     seed=task.seed,
                     task_key=task_key,
                 )
-            metrics[workload] = Simulator(eval_system, sched).run(jobs).metrics
+            with workload_span(workload):
+                metrics[workload] = Simulator(eval_system, sched).run(jobs).metrics
             if recorder is not None and store is not None:
                 trace_keys.append(store.put(recorder.finish()))
 

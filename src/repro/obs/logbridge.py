@@ -1,0 +1,146 @@
+"""The stdlib ``logging`` bridge: one call site, two destinations.
+
+Library code logs through ordinary stdlib loggers under the ``repro.``
+namespace (:func:`get_logger`), attaching structured fields with the
+:func:`kv` helper::
+
+    log = get_logger("repro.dist.worker")
+    log.info("lease claimed", extra=kv(key=key, worker_id=self.worker_id))
+
+Two handlers consume those records:
+
+* :func:`configure_stderr_logging` installs a human-readable stderr
+  handler whose level follows the CLI's ``--verbose``/``--quiet``
+  flags (``repro work -v``), rendering the fields as ``key=value``
+  suffixes;
+* :class:`EventLogHandler` (installed by :func:`repro.obs.enable`)
+  forwards every record into the structured event log as a ``log``
+  event, fields and bound context included, so the JSONL telemetry
+  stream and the console narration can never drift apart.
+
+Nothing is installed by default: a library must not configure logging
+behind its host application's back, so without an explicit
+``configure_stderr_logging``/``enable`` call these loggers propagate to
+whatever the application set up (or stdlib's silent default).
+"""
+
+from __future__ import annotations
+
+import logging
+import traceback
+
+from repro.obs.events import current_context
+
+__all__ = [
+    "get_logger",
+    "kv",
+    "configure_stderr_logging",
+    "verbosity_level",
+    "EventLogHandler",
+]
+
+#: the namespace root every library logger hangs off
+ROOT_LOGGER = "repro"
+
+_FIELDS_ATTR = "obs_fields"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A stdlib logger under the ``repro.`` namespace."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def kv(**fields) -> dict:
+    """Structured fields for a log call's ``extra=`` argument."""
+    return {_FIELDS_ATTR: fields}
+
+
+def record_fields(record: logging.LogRecord) -> dict:
+    """Bound context + the record's own ``kv`` fields (record wins)."""
+    return {**current_context(), **getattr(record, _FIELDS_ATTR, {})}
+
+
+def verbosity_level(verbose: int = 0, quiet: bool = False) -> int:
+    """Map CLI flags to a logging level: ``-q`` → ERROR, default →
+    WARNING, ``-v`` → INFO, ``-vv`` → DEBUG."""
+    if quiet:
+        return logging.ERROR
+    return {0: logging.WARNING, 1: logging.INFO}.get(min(verbose, 2), logging.DEBUG)
+
+
+class _KeyValueFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL logger: message key=value …``"""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+                         datefmt="%H:%M:%S")
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        fields = record_fields(record)
+        if fields:
+            rendered = " ".join(f"{k}={v}" for k, v in fields.items())
+            # exc_info text (appended by super) stays last
+            head, sep, tail = base.partition("\n")
+            base = head + " " + rendered + (sep + tail if sep else "")
+        return base
+
+
+class _StderrHandler(logging.StreamHandler):
+    """Marker subclass so reconfiguration can find and replace ours."""
+
+
+def configure_stderr_logging(
+    verbose: int = 0, quiet: bool = False, stream=None
+) -> logging.Handler:
+    """(Re)install the CLI's stderr handler on the ``repro`` logger.
+
+    Idempotent: a previously installed handler of ours is replaced, not
+    stacked, so repeated CLI invocations in one process (tests) never
+    double-print.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if isinstance(handler, _StderrHandler):
+            root.removeHandler(handler)
+    handler = _StderrHandler(stream)
+    handler.setFormatter(_KeyValueFormatter())
+    handler.setLevel(verbosity_level(verbose, quiet))
+    root.addHandler(handler)
+    # The logger itself stays wide open; per-handler levels filter.
+    root.setLevel(logging.DEBUG)
+    return handler
+
+
+class EventLogHandler(logging.Handler):
+    """Forward stdlib log records into a session's structured event log."""
+
+    def __init__(self, session) -> None:
+        super().__init__(level=logging.DEBUG)
+        self.session = session
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            fields = record_fields(record)
+            if record.exc_info and record.exc_info[0] is not None:
+                fields["traceback"] = "".join(
+                    traceback.format_exception(*record.exc_info, limit=20)
+                )
+            self.session.event(
+                "log",
+                level=record.levelname,
+                logger=record.name,
+                message=record.getMessage(),
+                **fields,
+            )
+        except Exception:  # never let telemetry take down the host
+            self.handleError(record)
+
+    def install(self) -> None:
+        logging.getLogger(ROOT_LOGGER).addHandler(self)
+        logging.getLogger(ROOT_LOGGER).setLevel(logging.DEBUG)
+
+    def uninstall(self) -> None:
+        logging.getLogger(ROOT_LOGGER).removeHandler(self)

@@ -1,0 +1,247 @@
+"""Constant-memory online metrics: counters, gauges, streaming histograms.
+
+The registry is what the telemetry layer samples *into*: decision
+latencies, queue depths, cache hit counters, lease protocol activity.
+Everything here is O(1) memory per metric regardless of how many
+observations flow through (the histogram keeps log-spaced buckets, not
+samples — the streaming-aggregator pattern of MerCur-Re's
+``Statistics`` helper), so a million-cell sweep can keep metrics on
+without ever buffering a million values.
+
+Snapshots are plain versioned dicts (``schema`` field) so worker
+processes can publish them as JSON beside their journal shards and a
+coordinator can :func:`merge_snapshots` them without sharing memory.
+
+Thread-safety: increments are plain ``+=`` under the GIL — concurrent
+writers (the heartbeat thread next to a worker loop) can at worst lose
+an increment, which is acceptable for telemetry and keeps the hot path
+free of locks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "StreamingHistogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+]
+
+METRICS_SCHEMA_VERSION = 1
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = int(value)
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def to_json_dict(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A last-value-wins float (queue depth, pending cells, …)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_json_dict(self) -> float:
+        return self.value
+
+
+class StreamingHistogram:
+    """Log-spaced-bucket histogram with bounded relative quantile error.
+
+    Positive observations land in bucket ``floor(log_g(value))`` for
+    growth factor ``g`` (default 1.08); a quantile estimate is the
+    geometric midpoint of its bucket, so it is within a factor
+    ``sqrt(g)`` of the true order statistic — a guaranteed ≤ ~4%
+    relative error at the default growth, from a dict that holds one
+    integer per *occupied* bucket. Non-positive values are counted in a
+    dedicated underflow bucket (they sort below every positive bucket).
+
+    ``count``/``total``/``min``/``max`` are exact.
+    """
+
+    __slots__ = ("growth", "_log_g", "buckets", "zeros", "count", "total",
+                 "min", "max")
+
+    def __init__(self, growth: float = 1.08) -> None:
+        if growth <= 1.0:
+            raise ValueError("histogram growth factor must be > 1")
+        self.growth = float(growth)
+        self._log_g = math.log(self.growth)
+        self.buckets: dict[int, int] = {}
+        self.zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = math.floor(math.log(value) / self._log_g)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """The ≈``q``-quantile (geometric bucket midpoint; exact at the
+        recorded ``min``/``max`` endpoints)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return math.nan
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = q * (self.count - 1)
+        if rank < self.zeros:
+            return min(self.min, 0.0)
+        cumulative = self.zeros
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if rank < cumulative:
+                mid = self.growth ** (index + 0.5)
+                # Clamp into the exactly-tracked envelope so q=0/q=1
+                # return the true extremes.
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold ``other`` in; requires an identical bucket geometry."""
+        if abs(other.growth - self.growth) > 1e-12:
+            raise ValueError(
+                f"cannot merge histograms with growth {other.growth} into "
+                f"{self.growth}"
+            )
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.zeros += other.zeros
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "growth": self.growth,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "zeros": self.zeros,
+            # JSON object keys are strings; indices restored on load
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "StreamingHistogram":
+        hist = cls(growth=float(data.get("growth", 1.08)))
+        hist.count = int(data.get("count", 0))
+        hist.total = float(data.get("total", 0.0))
+        hist.zeros = int(data.get("zeros", 0))
+        hist.min = float(data["min"]) if data.get("min") is not None else math.inf
+        hist.max = float(data["max"]) if data.get("max") is not None else -math.inf
+        hist.buckets = {int(k): int(v) for k, v in data.get("buckets", {}).items()}
+        return hist
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, created on first touch."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, StreamingHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(self, name: str, growth: float = 1.08) -> StreamingHistogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = StreamingHistogram(growth=growth)
+        return hist
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def snapshot(self, **extra) -> dict:
+        """A versioned, JSON-able snapshot of every metric."""
+        import time
+
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "t": time.time(),
+            "counters": {k: c.to_json_dict() for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.to_json_dict() for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.to_json_dict() for k, h in sorted(self._histograms.items())
+            },
+            **extra,
+        }
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Aggregate worker metrics snapshots (coordinator-side roll-up).
+
+    Counters and histogram streams add; gauges keep the value from the
+    most recent snapshot (by its ``t`` stamp). Unknown schema versions
+    are skipped rather than mis-merged.
+    """
+    merged = MetricsRegistry()
+    gauge_stamp: dict[str, float] = {}
+    n_merged = 0
+    for snap in snapshots:
+        if snap.get("schema") != METRICS_SCHEMA_VERSION:
+            continue
+        n_merged += 1
+        t = float(snap.get("t", 0.0))
+        for name, value in snap.get("counters", {}).items():
+            merged.counter(name).inc(int(value))
+        for name, value in snap.get("gauges", {}).items():
+            if t >= gauge_stamp.get(name, -math.inf):
+                merged.gauge(name).set(float(value))
+                gauge_stamp[name] = t
+        for name, data in snap.get("histograms", {}).items():
+            hist = StreamingHistogram.from_json_dict(data)
+            merged.histogram(name, growth=hist.growth).merge(hist)
+    return merged.snapshot(merged_from=n_merged)

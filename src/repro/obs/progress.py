@@ -1,0 +1,104 @@
+"""The live stderr progress line for grid runs.
+
+One carriage-return-refreshed line — done/total cells, cache hits,
+elapsed and ETA — written only when the stream is a real terminal (or
+the caller forces it): piped stderr, CI logs and ``--json`` runs stay
+byte-clean. ETA extrapolates from the *executed* cells' rate, not the
+instantly-recalled cache hits, so it stays honest on warm caches.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressLine", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """``47s`` / ``3m12s`` / ``2h05m`` — compact, fixed-ish width."""
+    seconds = max(0.0, float(seconds))
+    if seconds < 60.0:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressLine:
+    """A ``\\r``-refreshed ``[done/total]`` line on a TTY stream.
+
+    ``enabled=None`` auto-detects: active only when ``stream.isatty()``.
+    All methods are no-ops when disabled, so callers never branch.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "cells",
+        stream=None,
+        enabled: bool | None = None,
+        min_interval: float = 0.1,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", lambda: False)
+            enabled = bool(isatty())
+        self.enabled = enabled
+        self.total = int(total)
+        self.label = label
+        self.min_interval = min_interval
+        self.started_at = time.perf_counter()
+        self.done = 0
+        self.recalled = 0
+        self._executed_t0: float | None = None
+        self._last_render = 0.0
+        self._width = 0
+
+    def update(self, done: int, recalled: int | None = None, force: bool = False):
+        """Refresh the line to ``done`` completed cells.
+
+        ``recalled`` counts cells resolved without execution (cache /
+        checkpoint hits); the remainder drives the rate and ETA.
+        """
+        self.done = int(done)
+        if recalled is not None:
+            self.recalled = int(recalled)
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        executed = self.done - self.recalled
+        if executed > 0 and self._executed_t0 is None:
+            self._executed_t0 = now
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        self._render(now)
+
+    def _render(self, now: float) -> None:
+        elapsed = now - self.started_at
+        parts = [f"[{self.done}/{self.total} {self.label}]"]
+        if self.recalled:
+            parts.append(f"{self.recalled} recalled")
+        parts.append(f"elapsed {format_duration(elapsed)}")
+        executed = self.done - self.recalled
+        remaining = self.total - self.done
+        if executed > 0 and remaining > 0 and self._executed_t0 is not None:
+            rate = executed / max(now - self._executed_t0, 1e-9)
+            if rate > 0:
+                parts.append(f"eta {format_duration(remaining / rate)}")
+        line = "  ".join(parts)
+        pad = max(self._width - len(line), 0)
+        self._width = len(line)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Finish the line (final state + newline)."""
+        if not self.enabled:
+            return
+        self.update(self.done, force=True)
+        self.stream.write("\n")
+        self.stream.flush()

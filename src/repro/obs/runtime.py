@@ -1,0 +1,39 @@
+"""Mutable global telemetry state — the hot path's one attribute check.
+
+This module is deliberately tiny and imports nothing from the rest of
+the library so that hot loops (the scheduler selection loop, the
+simulator event loop, ``execute_task``) can do::
+
+    from repro.obs import runtime as _obs
+    ...
+    if _obs.session is not None:        # telemetry off → one attr check
+        _obs.session.event(...)
+
+and pay exactly one module-attribute read plus an ``is not None`` test
+when telemetry is disabled (the default). The richer facade —
+:func:`repro.obs.enable`, spans, metrics, the logging bridge — lives in
+:mod:`repro.obs` and mutates these globals.
+
+``decision_probe`` is split out from ``session`` because the per-decision
+scheduler loop is the hottest instrumented site in the library
+(~tens of µs per decision at full-machine geometry): it stays ``None``
+unless decision sampling was explicitly requested, so enabling plain
+event/span telemetry adds *nothing* to the decision loop.
+"""
+
+from __future__ import annotations
+
+__all__ = ["session", "decision_probe", "enabled"]
+
+#: the active :class:`repro.obs.session.TelemetrySession`, or None
+session = None
+
+#: the active :class:`repro.obs.session.DecisionProbe` (sampled
+#: decision-latency timing), or None; set only when the session was
+#: enabled with ``sample_decisions=True``
+decision_probe = None
+
+
+def enabled() -> bool:
+    """Whether a telemetry session is active (slow-path convenience)."""
+    return session is not None

@@ -55,6 +55,7 @@ __all__ = [
     "bench_mrsch_theta_decision",
     "bench_batched_episodes",
     "bench_dispatch_overhead",
+    "bench_telemetry_overhead",
     "run_suite",
     "list_benches",
     "BENCHES",
@@ -645,6 +646,94 @@ def bench_dispatch_overhead(
     )
 
 
+def bench_telemetry_overhead(
+    n_jobs: int = 2_000,
+    nodes: int = 128,
+    bb_units: int = 64,
+    mean_interarrival: float = 110.0,
+    seed: int = 19,
+    agent_seed: int = 5,
+    repeats: int = 3,
+) -> BenchResult:
+    """Wall cost of an enabled telemetry session on the decision path.
+
+    Replays the same MRSch inference episode twice per repeat —
+    telemetry disabled, then enabled with the sampled decision-latency
+    probe armed and all sinks writing to a real (temporary) directory —
+    interleaved, minimum wall kept per path. ``wall_s`` is the
+    *enabled* wall so the regression guard tracks the instrumented
+    path; ``meta`` carries the disabled wall, the overhead fraction
+    (the <2% claim), the sampled-decision count, and a decision
+    bit-identity check between the two replays (telemetry consumes no
+    RNG and touches no simulation state, so the job start streams must
+    be byte-equal).
+
+    The *disabled* cost — the ``None`` attribute check the hot loops
+    pay on every selection — is covered by every other benchmark in
+    this suite: they all run with telemetry off under the same
+    normalized regression guard.
+    """
+    import tempfile
+
+    import repro.obs as obs
+    from repro.core.mrsch import MRSchScheduler
+    from repro.sim.simulator import Simulator
+
+    if obs.enabled():
+        raise RuntimeError(
+            "bench_telemetry_overhead needs telemetry disabled at entry "
+            "(it measures enable/disable itself)"
+        )
+    system, jobs = _saturated_trace(n_jobs, nodes, bb_units, seed, mean_interarrival)
+
+    def replay() -> tuple[float, list]:
+        sched = MRSchScheduler(system, window_size=10, seed=agent_seed)
+        sim = Simulator(system, sched, record_timeline=False)
+        t0 = time.perf_counter()
+        result = sim.run(jobs)
+        wall = time.perf_counter() - t0
+        return wall, [(j.job_id, j.start_time) for j in result.jobs]
+
+    replay()  # warm imports/caches outside both timed paths
+    wall_off = wall_on = float("inf")
+    starts_off = starts_on = None
+    decisions = sampled = 0
+    with tempfile.TemporaryDirectory(prefix="bench-telemetry-") as tmp:
+        for _ in range(max(1, repeats)):
+            wall, starts = replay()
+            wall_off = min(wall_off, wall)
+            starts_off = starts_off or starts
+
+            session = obs.enable(tmp, sample_decisions=True)
+            try:
+                wall, starts = replay()
+                decisions = session.decision_probe.decisions
+                sampled = session.metrics.counter("sched.decisions_sampled").value
+            finally:
+                obs.disable()
+            wall_on = min(wall_on, wall)
+            starts_on = starts_on or starts
+
+    return BenchResult(
+        name="telemetry_overhead",
+        wall_s=wall_on,
+        n_units=n_jobs,
+        meta={
+            "nodes": nodes,
+            "bb_units": bb_units,
+            "mean_interarrival": mean_interarrival,
+            "repeats": max(1, repeats),
+            "disabled_wall_s": wall_off,
+            "overhead_fraction": (wall_on / wall_off - 1.0)
+            if wall_off > 0
+            else float("inf"),
+            "decisions": decisions,
+            "decisions_sampled": sampled,
+            "bit_identical": bool(starts_off == starts_on),
+        },
+    )
+
+
 #: the suite's benchmarks, in run order: name → (callable, one-line
 #: description). ``repro bench --list`` and ``--only`` are driven from
 #: this registry, so adding a benchmark here is all a future perf PR
@@ -678,6 +767,10 @@ BENCHES: dict[str, tuple] = {
         bench_dispatch_overhead,
         "queue-dispatch coordination cost vs bare serial execution",
     ),
+    "telemetry_overhead": (
+        bench_telemetry_overhead,
+        "enabled-telemetry wall cost on the MRSch decision hot path",
+    ),
 }
 
 #: benchmark sizings: "full" demonstrates the paper-scale claims,
@@ -691,6 +784,7 @@ SCALES: dict[str, dict] = {
         "mrsch_theta_decision": {"n_decisions": 2_000, "nodes": 4392, "bb_units": 1290},
         "batched_episodes": {"n_episodes": 32, "n_jobs": 150},
         "dispatch_overhead": {"n_jobs": 400, "n_seeds": 3},
+        "telemetry_overhead": {"n_jobs": 1_200, "repeats": 3},
     },
     "smoke": {
         "fcfs_replay": {"n_jobs": 1_500, "mean_interarrival": 70.0},
@@ -706,6 +800,7 @@ SCALES: dict[str, dict] = {
             "repeats": 1,
         },
         "dispatch_overhead": {"n_jobs": 400, "n_seeds": 2},
+        "telemetry_overhead": {"n_jobs": 200, "repeats": 2},
     },
 }
 

@@ -44,8 +44,11 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
+
+from repro.obs import runtime as _obs_runtime
 
 from repro.cluster.resources import ResourcePool, SystemConfig
 from repro.sched.jobqueue import JobQueue
@@ -241,11 +244,20 @@ class Scheduler(ABC):
             # An unsatisfied reservation blocks new head-of-queue
             # selections; only backfilling may proceed.
             return
+        # Telemetry-off runs pay one module-attribute read per instance
+        # and one None check per selection; the probe itself only times
+        # every N-th selection. Purely passive — no RNG, no state.
+        probe = _obs_runtime.decision_probe
         while True:
             window = ctx.window(self.window_size)
             if not window:
                 return
-            job = self.select(window, ctx)
+            if probe is not None and probe.tick():
+                t0 = perf_counter()
+                job = self.select(window, ctx)
+                probe.observe(self.name, perf_counter() - t0)
+            else:
+                job = self.select(window, ctx)
             if not self._handle_selection(job, window, ctx):
                 return
 
@@ -292,13 +304,22 @@ class Scheduler(ABC):
     def _selection_loop_gen(self, ctx: SchedulingContext):
         if self.reserved_job is not None:
             return
+        probe = _obs_runtime.decision_probe
         while True:
             window = ctx.window(self.window_size)
             if not window:
                 return
             inputs = self.prepare_decision(window, ctx)
             if inputs is None:
-                job = self.select(window, ctx)
+                # Only the unsplit path is timed: a split decision spans
+                # a yield, and timing it would charge the batch layer's
+                # cross-episode wait to this scheduler.
+                if probe is not None and probe.tick():
+                    t0 = perf_counter()
+                    job = self.select(window, ctx)
+                    probe.observe(self.name, perf_counter() - t0)
+                else:
+                    job = self.select(window, ctx)
             else:
                 scores = (yield inputs) if inputs.needs_scores else None
                 job = self.apply_decision(window, ctx, scores)

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.cluster.resources import SystemConfig
 from repro.nn.network import InferenceWorkspace
+from repro.obs import runtime as _obs_runtime
 from repro.sched.base import DecisionInputs, Scheduler
 from repro.sim.episode import EpisodeState, SimulationResult
 from repro.workload.job import Job
@@ -227,5 +228,9 @@ class BatchedSimulator:
             scores = fn(states, meas, goals)
             self.batch_calls += 1
             self.scored_rows += batch
+            session = _obs_runtime.session
+            if session is not None:
+                session.metrics.histogram("sim.inference_batch").observe(batch)
+                session.metrics.counter("sim.batch_calls").inc()
             for i, ep in enumerate(eps):
                 ep.run_until_pause(scores[i])

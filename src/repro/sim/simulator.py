@@ -16,6 +16,7 @@ variant is :class:`~repro.sim.batched.BatchedSimulator`.
 from __future__ import annotations
 
 from repro.cluster.resources import ResourcePool, SystemConfig
+from repro.obs import runtime as _obs_runtime
 from repro.sched.base import Scheduler
 from repro.sched.jobqueue import JobQueue
 from repro.sim.episode import EpisodeState, SimulationResult
@@ -75,6 +76,16 @@ class Simulator:
         Jobs are copied; the caller's list is never mutated, so the same
         trace can be replayed under many schedulers.
         """
-        self._state.load(jobs)
-        self.scheduler.reset()
-        return self._state.run_to_completion(self.scheduler)
+        session = _obs_runtime.session
+        if session is None:
+            self._state.load(jobs)
+            self.scheduler.reset()
+            return self._state.run_to_completion(self.scheduler)
+        with session.span(
+            "episode", scheduler=self.scheduler.name, jobs=len(jobs)
+        ):
+            self._state.load(jobs)
+            self.scheduler.reset()
+            result = self._state.run_to_completion(self.scheduler)
+        session.metrics.counter("sim.episodes").inc()
+        return result

@@ -1,0 +1,125 @@
+"""Telemetry is "how", never "what": enabling it changes no result.
+
+The contract every instrumented layer (scheduler loop, simulator,
+runner, queue workers) must honor — an enabled session may time, count
+and log, but it consumes no RNG and touches no simulation state, so
+metrics and decision streams are bit-identical with telemetry on or
+off. These tests run the same grid both ways and compare exactly,
+then check the telemetry artifacts themselves are complete enough for
+``repro trace export``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.exp import ExperimentRunner, grid_tasks
+from repro.experiments.harness import ExperimentConfig
+from repro.obs.events import read_events
+from repro.obs.spans import export_chrome_trace, load_spans
+from repro.sched.fcfs import FCFSScheduler
+from repro.sim.simulator import Simulator
+
+METHODS = ["heuristic", "optimization", "scalar_rl"]
+
+
+@pytest.fixture(autouse=True)
+def telemetry_teardown():
+    """Never leak an enabled session into the rest of the suite."""
+    yield
+    if obs.enabled():
+        obs.disable()
+
+
+@pytest.fixture(scope="module")
+def grid_config() -> ExperimentConfig:
+    return ExperimentConfig(nodes=32, bb_units=16, n_jobs=25, window_size=5, seed=41)
+
+
+def _exact(results):
+    return [(r.key, r.seed, {w: m.full_dict() for w, m in r.metrics.items()})
+            for r in results]
+
+
+class TestBitIdentity:
+    def test_grid_identical_with_telemetry_enabled(self, grid_config, tmp_path):
+        tasks = grid_tasks(METHODS, ["S1", "S3"], grid_config, n_seeds=2)
+        plain = ExperimentRunner(n_workers=1).run(tasks)
+        obs.enable(tmp_path / "telemetry", sample_decisions=True)
+        try:
+            instrumented = ExperimentRunner(n_workers=1).run(tasks)
+        finally:
+            obs.disable()
+        assert _exact(instrumented) == _exact(plain)
+
+    def test_episode_decision_stream_identical(self, mini_system, theta_trace):
+        def starts():
+            sim = Simulator(mini_system, FCFSScheduler(), record_timeline=False)
+            result = sim.run(theta_trace)
+            return [(j.job_id, j.start_time) for j in result.jobs]
+
+        plain = starts()
+        obs.enable(sample_decisions=True, decision_sample_every=1)  # time every one
+        try:
+            instrumented = starts()
+        finally:
+            obs.disable()
+        assert instrumented == plain
+
+    def test_queue_dispatch_identical_with_telemetry(self, grid_config, tmp_path):
+        tasks = grid_tasks(["heuristic"], ["S1"], grid_config, n_seeds=2)
+        plain = ExperimentRunner(n_workers=1).run(tasks)
+        obs.enable(tmp_path / "telemetry")
+        try:
+            queued = ExperimentRunner(
+                n_workers=2,
+                dispatch="queue",
+                queue_dir=tmp_path / "queue",
+                lease_ttl=20.0,
+            ).run(tasks)
+        finally:
+            obs.disable()
+        assert _exact(queued) == _exact(plain)
+        # The coordinator rolled the workers' snapshots up beside its own.
+        aggregate = json.loads((tmp_path / "telemetry" / "metrics-queue.json").read_text())
+        assert aggregate["counters"]["queue.cells_executed"] == 2
+        assert aggregate["merged_from"] >= 1
+
+
+class TestArtifacts:
+    def test_run_writes_exportable_telemetry(self, grid_config, tmp_path):
+        telemetry = tmp_path / "telemetry"
+        tasks = grid_tasks(["heuristic", "optimization"], ["S1"], grid_config,
+                           n_seeds=1)
+        session = obs.enable(telemetry, sample_decisions=True)
+        try:
+            ExperimentRunner(n_workers=1).run(tasks)
+            sampled = session.metrics.counter("sched.decisions_sampled").value
+        finally:
+            obs.disable()
+
+        spans = load_spans(telemetry)
+        names = {s["name"] for s in spans}
+        assert {"run", "cell", "episode"} <= names
+        events = read_events(telemetry)
+        kinds = {e["event"] for e in events}
+        assert {"run_start", "cell_done", "run_done"} <= kinds
+        done = [e for e in events if e["event"] == "cell_done"]
+        assert len(done) == 2 and all("key" in e for e in done)
+
+        metrics_files = list(telemetry.glob("metrics-*.json"))
+        assert metrics_files
+        merged = obs.merge_snapshots(
+            json.loads(p.read_text()) for p in metrics_files
+        )
+        assert merged["counters"]["cells.executed"] == 2
+        assert merged["counters"]["sched.decisions_sampled"] == sampled
+
+        out = export_chrome_trace(telemetry)
+        doc = json.loads(out.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases and "i" in phases
+        assert any(e["name"] == "cell" for e in doc["traceEvents"])

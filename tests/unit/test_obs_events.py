@@ -1,0 +1,151 @@
+"""Unit tests for the event log, bound context, and the logging bridge."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import repro.obs as obs
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    JsonlSink,
+    bind,
+    current_context,
+    make_event,
+    read_events,
+    read_jsonl,
+)
+from repro.obs.logbridge import (
+    EventLogHandler,
+    configure_stderr_logging,
+    get_logger,
+    kv,
+    verbosity_level,
+)
+
+
+class TestBoundContext:
+    def test_nesting_and_innermost_wins(self):
+        assert current_context() == {}
+        with bind(run_id="r1", worker_id="w0"):
+            with bind(key="abc", worker_id="w1"):
+                assert current_context() == {
+                    "run_id": "r1", "worker_id": "w1", "key": "abc",
+                }
+            assert current_context() == {"run_id": "r1", "worker_id": "w0"}
+        assert current_context() == {}
+
+    def test_make_event_call_site_wins(self):
+        with bind(run_id="r1", source="bound"):
+            event = make_event("cell_done", source="run", wall_s=1.5)
+        assert event["schema"] == EVENT_SCHEMA_VERSION
+        assert event["event"] == "cell_done"
+        assert event["run_id"] == "r1"
+        assert event["source"] == "run"  # call-site field beats bound context
+        assert event["wall_s"] == 1.5
+        assert isinstance(event["t"], float)
+
+
+class TestJsonlSink:
+    def test_memory_buffer_without_directory(self):
+        sink = JsonlSink(None, "events")
+        sink.write({"event": "a"})
+        assert sink.path is None
+        assert sink.buffer == [{"event": "a"}]
+
+    def test_round_trip_and_time_sort(self, tmp_path):
+        sink = JsonlSink(tmp_path, "events")
+        sink.write(make_event("later"))
+        sink.close()
+        records = read_events(tmp_path)
+        assert [r["event"] for r in records] == ["later"]
+        # A second pid-suffixed shard with earlier stamps sorts first.
+        shard = tmp_path / "events-99999.jsonl"
+        shard.write_text(json.dumps({"event": "earlier", "t": 0.0}) + "\n")
+        assert [r["event"] for r in read_events(tmp_path)] == ["earlier", "later"]
+
+    def test_torn_tail_skipped(self, tmp_path):
+        path = tmp_path / "events-1.jsonl"
+        path.write_text(json.dumps({"event": "ok", "t": 1.0}) + "\n" + '{"event": "torn', )
+        records = read_jsonl(tmp_path, "events")
+        assert [r["event"] for r in records] == ["ok"]
+
+
+class TestLogBridge:
+    def test_verbosity_levels(self):
+        assert verbosity_level(quiet=True) == logging.ERROR
+        assert verbosity_level() == logging.WARNING
+        assert verbosity_level(verbose=1) == logging.INFO
+        assert verbosity_level(verbose=2) == logging.DEBUG
+        assert verbosity_level(verbose=5) == logging.DEBUG
+
+    def test_stderr_handler_renders_fields_and_is_idempotent(self):
+        import io
+
+        stream = io.StringIO()
+        configure_stderr_logging(verbose=1, stream=stream)
+        handler = configure_stderr_logging(verbose=1, stream=stream)  # replaces
+        try:
+            root = logging.getLogger("repro")
+            assert [h for h in root.handlers if h is handler] == [handler]
+            get_logger("repro.dist.worker").info(
+                "claimed cell", extra=kv(key="abc123")
+            )
+            out = stream.getvalue()
+            assert "claimed cell" in out and "key=abc123" in out
+        finally:
+            root.removeHandler(handler)
+
+    def test_records_forward_into_event_log(self):
+        session = obs.enable()  # in-memory sinks
+        try:
+            with bind(worker_id="w7"):
+                get_logger("repro.dist.worker").warning(
+                    "reaped expired lease", extra=kv(key="k1")
+                )
+            logged = [e for e in session.events.buffer if e["event"] == "log"]
+            assert len(logged) == 1
+            (record,) = logged
+            assert record["level"] == "WARNING"
+            assert record["logger"] == "repro.dist.worker"
+            assert record["message"] == "reaped expired lease"
+            assert record["key"] == "k1" and record["worker_id"] == "w7"
+        finally:
+            obs.disable()
+
+    def test_exception_traceback_captured(self):
+        session = obs.enable()
+        try:
+            try:
+                raise RuntimeError("boom")
+            except RuntimeError:
+                get_logger("repro.test").exception("cell execution failed")
+            (record,) = [e for e in session.events.buffer if e["event"] == "log"]
+            assert "RuntimeError: boom" in record["traceback"]
+        finally:
+            obs.disable()
+
+    def test_handler_uninstalls_on_disable(self):
+        root = logging.getLogger("repro")
+        before = [h for h in root.handlers if isinstance(h, EventLogHandler)]
+        obs.enable()
+        obs.disable()
+        after = [h for h in root.handlers if isinstance(h, EventLogHandler)]
+        assert after == before
+
+
+class TestFacade:
+    def test_event_and_span_are_noops_when_off(self):
+        assert not obs.enabled()
+        obs.event("ignored")  # must not raise
+        with obs.span("ignored"):
+            pass
+        assert obs.metrics() is None and obs.session() is None
+
+    def test_enable_is_idempotent_while_enabled(self):
+        first = obs.enable()
+        try:
+            assert obs.enable() is first
+        finally:
+            obs.disable()
+        assert not obs.enabled()

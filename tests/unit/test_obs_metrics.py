@@ -1,0 +1,146 @@
+"""Unit tests for repro.obs.metrics — counters, gauges, histograms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+    StreamingHistogram,
+    merge_snapshots,
+)
+
+
+class TestStreamingHistogram:
+    def test_exact_aggregates(self):
+        hist = StreamingHistogram()
+        values = [0.5, 1.5, 2.5, 100.0]
+        for v in values:
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.total == pytest.approx(sum(values))
+        assert hist.mean == pytest.approx(sum(values) / 4)
+        assert hist.min == 0.5 and hist.max == 100.0
+
+    def test_quantile_relative_error_bound(self):
+        """Bucket-midpoint quantiles stay within sqrt(growth) of exact.
+
+        The documented guarantee: with growth g, any positive quantile
+        estimate is a geometric bucket midpoint, hence within a factor
+        sqrt(g) (~4% at g=1.08) of the true order statistic.
+        """
+        rng = np.random.default_rng(7)
+        samples = np.sort(rng.lognormal(mean=0.0, sigma=2.0, size=5_000))
+        hist = StreamingHistogram()
+        for v in samples:
+            hist.observe(float(v))
+        bound = math.sqrt(hist.growth)
+        for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            exact = float(samples[math.floor(q * (len(samples) - 1))])
+            estimate = hist.quantile(q)
+            assert exact / bound <= estimate <= exact * bound, (q, exact, estimate)
+
+    def test_quantile_endpoints_are_exact(self):
+        hist = StreamingHistogram()
+        for v in (0.013, 4.2, 17.0, 250.0):
+            hist.observe(v)
+        assert hist.quantile(0.0) == 0.013
+        assert hist.quantile(1.0) == 250.0
+
+    def test_nonpositive_values_underflow_bucket(self):
+        hist = StreamingHistogram()
+        for v in (-1.0, 0.0, 1.0, 2.0):
+            hist.observe(v)
+        assert hist.zeros == 2 and hist.count == 4
+        assert hist.quantile(0.0) == -1.0  # underflow sorts below positives
+        assert hist.quantile(1.0) == 2.0
+
+    def test_empty_and_invalid(self):
+        hist = StreamingHistogram()
+        assert math.isnan(hist.quantile(0.5))
+        assert math.isnan(hist.mean)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            StreamingHistogram(growth=1.0)
+
+    def test_merge_matches_single_stream(self):
+        rng = np.random.default_rng(11)
+        a_vals = rng.exponential(3.0, size=400)
+        b_vals = rng.exponential(0.2, size=300)
+        one = StreamingHistogram()
+        for v in np.concatenate([a_vals, b_vals]):
+            one.observe(float(v))
+        a, b = StreamingHistogram(), StreamingHistogram()
+        for v in a_vals:
+            a.observe(float(v))
+        for v in b_vals:
+            b.observe(float(v))
+        a.merge(b)
+        assert a.count == one.count
+        assert a.total == pytest.approx(one.total)
+        assert a.buckets == one.buckets
+        for q in (0.1, 0.5, 0.9):
+            assert a.quantile(q) == one.quantile(q)
+
+    def test_merge_rejects_mismatched_growth(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(growth=1.08).merge(StreamingHistogram(growth=1.5))
+
+    def test_json_round_trip(self):
+        hist = StreamingHistogram()
+        for v in (-3.0, 0.4, 12.0, 12.1, 900.0):
+            hist.observe(v)
+        back = StreamingHistogram.from_json_dict(hist.to_json_dict())
+        assert back.count == hist.count
+        assert back.zeros == hist.zeros
+        assert back.buckets == hist.buckets
+        assert back.min == hist.min and back.max == hist.max
+        for q in (0.0, 0.5, 1.0):
+            assert back.quantile(q) == hist.quantile(q)
+
+
+class TestRegistryAndMerge:
+    def test_created_on_first_touch_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("cells").inc(3)
+        reg.gauge("pending").set(7.0)
+        reg.histogram("wall_s").observe(1.25)
+        assert len(reg) == 3
+        assert reg.counter("cells") is reg.counter("cells")
+        snap = reg.snapshot(worker_id="w0")
+        assert snap["schema"] == METRICS_SCHEMA_VERSION
+        assert snap["counters"] == {"cells": 3}
+        assert snap["gauges"] == {"pending": 7.0}
+        assert snap["histograms"]["wall_s"]["count"] == 1
+        assert snap["worker_id"] == "w0"
+
+    def test_merge_snapshots_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("cells").inc(2)
+        b.counter("cells").inc(5)
+        a.gauge("pending").set(10.0)
+        b.gauge("pending").set(4.0)
+        for v in (1.0, 2.0):
+            a.histogram("wall_s").observe(v)
+        b.histogram("wall_s").observe(3.0)
+        snap_a = a.snapshot()
+        snap_b = b.snapshot()
+        snap_a["t"], snap_b["t"] = 100.0, 200.0  # b is newer
+        merged = merge_snapshots([snap_a, snap_b])
+        assert merged["merged_from"] == 2
+        assert merged["counters"]["cells"] == 7  # counters add
+        assert merged["gauges"]["pending"] == 4.0  # latest wins
+        assert merged["histograms"]["wall_s"]["count"] == 3  # streams add
+
+    def test_merge_skips_unknown_schema(self):
+        good = MetricsRegistry()
+        good.counter("cells").inc(1)
+        bad = {"schema": 99, "counters": {"cells": 100}}
+        merged = merge_snapshots([good.snapshot(), bad])
+        assert merged["merged_from"] == 1
+        assert merged["counters"]["cells"] == 1

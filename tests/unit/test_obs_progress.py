@@ -1,0 +1,56 @@
+"""Unit tests for the stderr progress line and duration formatting."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.progress import ProgressLine, format_duration
+
+
+class FakeTty(io.StringIO):
+    def isatty(self) -> bool:
+        return True
+
+
+class TestFormatDuration:
+    def test_buckets(self):
+        assert format_duration(0.0) == "0s"
+        assert format_duration(47.4) == "47s"
+        assert format_duration(192.0) == "3m12s"
+        assert format_duration(2 * 3600 + 5 * 60) == "2h05m"
+        assert format_duration(-3.0) == "0s"  # clamped
+
+
+class TestProgressLine:
+    def test_suppressed_off_tty(self):
+        stream = io.StringIO()  # isatty() False
+        line = ProgressLine(10, stream=stream)
+        line.update(5, recalled=2)
+        line.close()
+        assert stream.getvalue() == ""
+
+    def test_renders_on_tty(self):
+        stream = FakeTty()
+        line = ProgressLine(10, stream=stream, min_interval=0.0)
+        line.update(4, recalled=1)
+        line.close()
+        out = stream.getvalue()
+        assert "[4/10 cells]" in out
+        assert "1 recalled" in out
+        assert "elapsed" in out
+        assert out.endswith("\n")
+
+    def test_forced_enable_overrides_isatty(self):
+        stream = io.StringIO()
+        line = ProgressLine(3, enabled=True, stream=stream, min_interval=0.0)
+        line.update(3)
+        line.close()
+        assert "[3/3 cells]" in stream.getvalue()
+
+    def test_eta_appears_once_cells_execute(self):
+        stream = FakeTty()
+        line = ProgressLine(100, stream=stream, min_interval=0.0)
+        line.update(1)  # executed (not recalled) cell starts the rate clock
+        line.update(50)
+        assert "eta" in stream.getvalue()
+        line.close()

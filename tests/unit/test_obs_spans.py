@@ -1,0 +1,89 @@
+"""Unit tests for tracing spans and the Chrome-trace exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    SPAN_SCHEMA_VERSION,
+    SpanRecorder,
+    export_chrome_trace,
+    load_spans,
+    to_chrome_trace,
+)
+
+
+def record_nested(directory) -> None:
+    recorder = SpanRecorder(directory)
+    with recorder.span("run", cells=2):
+        with recorder.span("cell", key="k1"):
+            with recorder.span("episode"):
+                pass
+        with recorder.span("cell", key="k2"):
+            pass
+    recorder.close()
+
+
+class TestSpanRecorder:
+    def test_nesting_parent_ids(self, tmp_path):
+        record_nested(tmp_path)
+        spans = load_spans(tmp_path)
+        assert all(s["schema"] == SPAN_SCHEMA_VERSION for s in spans)
+        by_name: dict[str, list[dict]] = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span)
+        (run,) = by_name["run"]
+        assert run["parent_id"] is None
+        assert run["attrs"] == {"cells": 2}
+        cells = by_name["cell"]
+        assert len(cells) == 2
+        assert all(c["parent_id"] == run["span_id"] for c in cells)
+        (episode,) = by_name["episode"]
+        cell_k1 = next(c for c in cells if c["attrs"]["key"] == "k1")
+        assert episode["parent_id"] == cell_k1["span_id"]
+        # Children close before (and nest inside) their parents.
+        assert episode["dur_s"] <= cell_k1["dur_s"] <= run["dur_s"]
+        assert run["t"] <= cell_k1["t"] <= episode["t"]
+
+    def test_span_records_even_when_body_raises(self, tmp_path):
+        recorder = SpanRecorder(tmp_path)
+        with pytest.raises(ValueError):
+            with recorder.span("doomed"):
+                raise ValueError("x")
+        recorder.close()
+        assert [s["name"] for s in load_spans(tmp_path)] == ["doomed"]
+
+
+class TestChromeTrace:
+    def test_export_round_trip(self, tmp_path):
+        record_nested(tmp_path)
+        out = export_chrome_trace(tmp_path)
+        assert out == tmp_path / "trace.json"
+        doc = json.loads(out.read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in slices} == {"run", "cell", "episode"}
+        assert len(meta) == 1  # one process_name record per pid
+        for entry in slices:
+            assert entry["ts"] >= 0.0 and entry["dur"] >= 0.0
+            assert entry["cat"] == "repro"
+        run = next(e for e in slices if e["name"] == "run")
+        episode = next(e for e in slices if e["name"] == "episode")
+        # Relative microsecond timestamps preserve containment.
+        assert run["ts"] <= episode["ts"]
+        assert episode["ts"] + episode["dur"] <= run["ts"] + run["dur"] + 1.0
+
+    def test_events_become_instant_markers(self, tmp_path):
+        record_nested(tmp_path)
+        spans = load_spans(tmp_path)
+        events = [{"event": "cell_done", "t": spans[0]["t"], "key": "k1"}]
+        doc = to_chrome_trace(spans, events)
+        (marker,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert marker["name"] == "cell_done"
+        assert marker["args"]["key"] == "k1"
+
+    def test_export_requires_spans(self, tmp_path):
+        with pytest.raises(ValueError, match="no span records"):
+            export_chrome_trace(tmp_path)
