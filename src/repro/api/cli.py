@@ -235,6 +235,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("--wait", action="store_true",
                         help="keep polling after the queue drains instead "
                              "of exiting (long-lived elastic worker)")
+    p_work.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-cell execution deadline in seconds: a "
+                             "hung cell is abandoned, recorded as a failed "
+                             "attempt and its lease released (default: the "
+                             "queue meta's execution.cell_timeout_s, if any)")
     p_work.add_argument("--faults", default=None, metavar="FILE",
                         help="scripted FaultPlan JSON file (fault-injection "
                              "testing; REPRO_DIST_FAULTS env overrides)")
@@ -576,7 +582,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_work(args: argparse.Namespace) -> int:
-    from repro.dist import FaultPlan, QueueWorker, WorkQueue
+    from repro.dist import FaultPlan, QueueWorker, StoreUnavailable, WorkQueue
     from repro.obs.logbridge import configure_stderr_logging
 
     configure_stderr_logging(verbose=args.verbose, quiet=args.quiet)
@@ -596,9 +602,17 @@ def _cmd_work(args: argparse.Namespace) -> int:
         poll_interval=args.poll,
         max_cells=args.max_cells,
         wait_for_work=args.wait,
+        cell_timeout_s=args.cell_timeout,
         faults=plan,
     )
-    report = worker.run()
+    try:
+        report = worker.run()
+    except (StoreUnavailable, RuntimeError) as exc:
+        # A store that stayed down through the strike budget: the
+        # worker already spooled any finished results locally and the
+        # message says where — surface it without a traceback wall.
+        print(f"repro work: error: {exc}", file=sys.stderr)
+        return 2
     # The worker may also have enabled telemetry from the queue's
     # meta.json; either way, flush and close before reporting.
     import repro.obs as obs
@@ -612,12 +626,16 @@ def _cmd_work(args: argparse.Namespace) -> int:
             "reaped": report.reaped,
             "straggled": report.straggled,
             "failed": report.failed,
+            "timed_out": report.timed_out,
+            "spooled": report.spooled,
         }, indent=2, sort_keys=True))
     else:
         print(
             f"worker {report.worker_id}: {report.cells_done} cell(s) "
             f"executed, {len(report.reaped)} expired lease(s) reaped, "
             f"{len(report.failed)} failed"
+            + (f", {len(report.timed_out)} timed out"
+               if report.timed_out else "")
         )
     return 1 if report.failed else 0
 

@@ -234,6 +234,11 @@ def run_scenario(
         dispatch=dispatch,
         queue_dir=effective_queue_dir if dispatch == "queue" else None,
         lease_ttl=float(execution.get("lease_ttl", 30.0)),
+        cell_timeout_s=(
+            float(execution["cell_timeout_s"])
+            if execution.get("cell_timeout_s")
+            else None
+        ),
         progress=progress,
     )
     tasks = scenario.compile(config=config)

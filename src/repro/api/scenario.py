@@ -75,7 +75,9 @@ _SYSTEM_KEYS = frozenset({"name", "nodes", "bb_units"})
 _EVALUATION_KEYS = frozenset(
     {"policies", "trace_dir", "bootstrap", "seed", "compact_traces"}
 )
-_EXECUTION_KEYS = frozenset({"dispatch", "queue_dir", "workers", "lease_ttl"})
+_EXECUTION_KEYS = frozenset(
+    {"dispatch", "queue_dir", "workers", "lease_ttl", "cell_timeout_s"}
+)
 _CONFIG_KEYS = frozenset(
     {
         "n_jobs",
@@ -398,6 +400,14 @@ class Scenario:
                 or (isinstance(lease_ttl, (int, float))
                     and not isinstance(lease_ttl, bool) and lease_ttl > 0),
                 f"execution.lease_ttl must be a positive number, got {lease_ttl!r}",
+            )
+            cell_timeout = self.execution.get("cell_timeout_s")
+            _require(
+                cell_timeout is None
+                or (isinstance(cell_timeout, (int, float))
+                    and not isinstance(cell_timeout, bool) and cell_timeout > 0),
+                f"execution.cell_timeout_s must be a positive number, "
+                f"got {cell_timeout!r}",
             )
 
         _require(

@@ -12,6 +12,14 @@ correctness under re-issue is free because every cell is a deterministic
 function of its config hash and ``SeedSequence`` seed — duplicates are
 bit-identical.
 
+Every filesystem byte of that protocol moves through one storage seam
+(:class:`~repro.dist.store.Store`): errno-classified bounded retry with
+per-worker seeded jitter, CRC32-checksummed journal lines and task
+specs with quarantine-on-corruption, deterministic IO fault injection
+for tests, and :class:`~repro.dist.store.StoreUnavailable` as the
+degraded-mode escalation signal (workers spool finished results locally
+and flush when the store recovers).
+
 Use it through ``ExperimentRunner(dispatch="queue", queue_dir=...)``,
 a scenario's ``execution`` block, or the ``repro work`` /
 ``repro queue-status`` CLI subcommands. Scripted failures for tests live
@@ -22,7 +30,20 @@ from repro.dist.coordinator import dispatch_tasks
 from repro.dist.faults import FaultInjector, FaultPlan
 from repro.dist.lease import Lease, LeaseBoard
 from repro.dist.queue import QueueStatus, WorkQueue
-from repro.dist.worker import QueueWorker, WorkerReport, new_worker_id
+from repro.dist.store import (
+    RetryPolicy,
+    Store,
+    StoreUnavailable,
+    classify_errno,
+    seal_line,
+    unseal_line,
+)
+from repro.dist.worker import (
+    CellTimeout,
+    QueueWorker,
+    WorkerReport,
+    new_worker_id,
+)
 
 __all__ = [
     "WorkQueue",
@@ -31,8 +52,15 @@ __all__ = [
     "LeaseBoard",
     "QueueWorker",
     "WorkerReport",
+    "CellTimeout",
     "FaultPlan",
     "FaultInjector",
+    "Store",
+    "StoreUnavailable",
+    "RetryPolicy",
+    "classify_errno",
+    "seal_line",
+    "unseal_line",
     "dispatch_tasks",
     "new_worker_id",
 ]

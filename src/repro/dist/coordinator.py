@@ -76,6 +76,7 @@ def dispatch_tasks(
     trace_dir: str | None = None,
     trace_compact: bool = False,
     batch_episodes: int = 1,
+    cell_timeout_s: float | None = None,
     worker_faults: "list[FaultPlan | None] | None" = None,
     inline_fallback: bool = True,
 ) -> dict[str, TaskResult]:
@@ -101,7 +102,9 @@ def dispatch_tasks(
         trace_compact=bool(trace_compact),
         batch_episodes=int(batch_episodes),
         # Late-joining `repro work` processes follow the coordinator's
-        # telemetry directory without per-worker flags.
+        # telemetry directory without per-worker flags; same for the
+        # per-cell execution deadline.
+        **({"cell_timeout_s": float(cell_timeout_s)} if cell_timeout_s else {}),
         **({"telemetry": telemetry_dir} if telemetry_dir else {}),
     )
     keys = queue.enqueue(tasks)
@@ -198,6 +201,12 @@ def dispatch_tasks(
                 proc.join(timeout=5.0)
 
     merged = queue.merged_results()
+    quarantined = queue.quarantine_count()
+    if quarantined:
+        _log.warning(
+            "merge detected corrupt record(s); quarantined, not dropped",
+            extra=kv(quarantined=quarantined, dir=str(queue.quarantine_dir)),
+        )
     missing = [k for k in keys if k not in merged]
     if missing:
         raise RuntimeError(

@@ -13,6 +13,14 @@ on every POSIX filesystem (and NFS with close-to-open consistency):
   only one reaper wins the rename (the loser gets ``FileNotFoundError``),
   after which the key is open for a fresh claim race.
 
+Every one of those calls goes through the :class:`~repro.dist.store.Store`
+seam, which classifies and retries transient storage errors and lets
+tests script deterministic IO faults. The seam never weakens atomicity:
+``EEXIST``/``ENOENT`` stay semantic (they *are* the protocol), and a
+read that keeps flaking resolves **conservatively** — an unreadable
+claim is treated as still-claimed for one ttl, never as unclaimed,
+because "unclaimed" is the answer that invites a double claim.
+
 The protocol minimises duplicate work; it does not have to prevent it.
 If a straggler finishes a cell whose lease was reaped and re-issued,
 both publishes are accepted — the config-hash key and per-cell
@@ -24,12 +32,16 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.dist.store import Store
+from repro.obs.logbridge import get_logger, kv
+
 __all__ = ["Lease", "LeaseBoard"]
+
+_log = get_logger("repro.dist.lease")
 
 
 @dataclass
@@ -68,11 +80,17 @@ class Lease:
 class LeaseBoard:
     """The lease directory of one work queue."""
 
-    def __init__(self, root: str | os.PathLike, ttl: float = 30.0) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        ttl: float = 30.0,
+        store: Store | None = None,
+    ) -> None:
         if ttl <= 0:
             raise ValueError(f"lease ttl must be positive, got {ttl!r}")
         self.root = Path(root)
         self.ttl = float(ttl)
+        self.store = store if store is not None else Store()
         self.root.mkdir(parents=True, exist_ok=True)
         self._tombstones = self.root / ".reaped"
         self._tombstones.mkdir(exist_ok=True)
@@ -86,18 +104,25 @@ class LeaseBoard:
         """Attempt the O_EXCL claim; True when this owner won the race."""
         now = time.time() if now is None else now
         lease = Lease(key=key, owner=owner, claimed_at=now, expires_at=now + self.ttl)
-        try:
-            fd = os.open(self._path(key), os.O_WRONLY | os.O_CREAT | os.O_EXCL)
-        except FileExistsError:
-            return False
-        with os.fdopen(fd, "w") as handle:
-            json.dump(lease.to_json_dict(), handle)
-        return True
+        return self.store.create_excl_json(self._path(key), lease.to_json_dict())
+
+    def _still_claimed(self, key: str) -> Lease:
+        """The conservative answer when a claim file cannot be judged.
+
+        Reading an existing claim as *unclaimed* invites a double claim
+        (two owners, one cell); reading it as claimed-for-one-more-ttl
+        merely delays a re-issue. Always take the delay.
+        """
+        now = time.time()
+        return Lease(
+            key=key, owner="?unreadable", claimed_at=now,
+            expires_at=now + self.ttl,
+        )
 
     def read(self, key: str) -> Lease | None:
         """The current lease on ``key``, or None when unclaimed/torn."""
         try:
-            text = self._path(key).read_text()
+            text = self.store.read_text(self._path(key))
             return Lease.from_json_dict(json.loads(text))
         except FileNotFoundError:
             return None
@@ -106,9 +131,18 @@ class LeaseBoard:
             # never be renewed, so it ages out like any silent owner:
             # treat it as expired-at-claim once it is older than a ttl.
             try:
-                age = time.time() - self._path(key).stat().st_mtime
-            except OSError:
-                return None
+                age = time.time() - self.store.stat_mtime(self._path(key))
+            except FileNotFoundError:
+                return None  # reaped between read and stat: unclaimed
+            except OSError as exc:
+                # A stat flake must not read a *claimed* key as
+                # unclaimed — that is the double-claim answer. Report
+                # it and hold the claim for one more ttl instead.
+                _log.warning(
+                    "stat flaked on torn lease; treating as still claimed",
+                    extra=kv(key=key, error=str(exc)),
+                )
+                return self._still_claimed(key)
             if age >= self.ttl:
                 return Lease(key=key, owner="?torn", claimed_at=0.0, expires_at=0.0)
             return Lease(
@@ -129,15 +163,7 @@ class LeaseBoard:
             return False
         lease.expires_at = now + self.ttl
         lease.renewals += 1
-        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".renew-", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(lease.to_json_dict(), handle)
-            os.replace(tmp, self._path(key))
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        self.store.atomic_write_json(self._path(key), lease.to_json_dict())
         return True
 
     def release(self, key: str, owner: str) -> bool:
@@ -146,7 +172,7 @@ class LeaseBoard:
         if lease is None or lease.owner != owner:
             return False
         try:
-            os.unlink(self._path(key))
+            self.store.unlink(self._path(key))
         except FileNotFoundError:
             return False
         return True
@@ -165,19 +191,19 @@ class LeaseBoard:
             return False
         tomb = self._tombstones / f"{key}-{os.getpid()}-{time.monotonic_ns()}"
         try:
-            os.rename(self._path(key), tomb)
+            self.store.rename(self._path(key), tomb)
         except FileNotFoundError:
             return False  # another reaper won
         try:
-            current = Lease.from_json_dict(json.loads(tomb.read_text()))
+            current = Lease.from_json_dict(json.loads(self.store.read_text(tomb)))
         except (OSError, json.JSONDecodeError, KeyError, ValueError):
             current = None
         if current is not None and not current.expired(now):
             # The owner heartbeated in the race window; put it back.
-            os.replace(tomb, self._path(key))
+            self.store.replace(tomb, self._path(key))
             return False
         try:
-            os.unlink(tomb)
+            self.store.unlink(tomb)
         except FileNotFoundError:
             pass
         return True

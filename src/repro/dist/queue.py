@@ -10,6 +10,7 @@ filesystem)::
       done/<key>.json                # completion marker: {worker, host, t}
       failed/<key>-<attempt>.json    # per-attempt execution failures
       results/journal-<worker>.jsonl # per-worker journal shards
+      quarantine/<origin>-L<n>.json  # detected-corrupt records + provenance
       workers/<worker>.json          # worker registration + heartbeat
       metrics/<worker>.json          # per-worker metrics snapshots
 
@@ -20,6 +21,16 @@ collapse to identical files. Completed cells append to *per-worker*
 JSONL journal shards (appenders never contend on one file) which are
 merged on read; duplicates from straggler re-issues collapse by key and
 are bit-identical by construction (per-cell ``SeedSequence`` seeding).
+
+Storage robustness: every filesystem operation routes through the
+:class:`~repro.dist.store.Store` seam (transient-errno retry with
+seeded backoff; deterministic fault injection in tests), journal lines
+and task specs are CRC32-checksummed, and **interior** corruption —
+a bit-flipped line in the middle of a shard, as opposed to the torn
+tail of a crashed writer — is detected on merge and moved aside into
+``quarantine/`` with provenance instead of being silently dropped.
+``repro queue-status`` surfaces the quarantine count; a clean run has
+zero.
 """
 
 from __future__ import annotations
@@ -33,9 +44,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.dist.lease import LeaseBoard
+from repro.dist.store import (
+    Store,
+    seal_line,
+    unseal_line,
+    verify_sealed_payload,
+)
 from repro.exp.records import ExperimentTask, TaskResult
+from repro.obs.logbridge import get_logger, kv
 
 __all__ = ["WorkQueue", "QueueStatus", "fsync_append"]
+
+_log = get_logger("repro.dist.queue")
 
 #: attempts after which a deterministically-failing cell stops being
 #: re-issued (workers skip it; the coordinator raises with the errors)
@@ -48,7 +68,8 @@ def fsync_append(path: Path, line: str) -> None:
     The fsync makes a torn tail a last resort (power loss mid-write)
     rather than the common case (process death with a full OS buffer);
     the directory is fsynced on first create so the file's existence is
-    durable too.
+    durable too. (Kept as the plain, seam-free primitive; queue writes
+    go through :meth:`repro.dist.store.Store.fsync_append`.)
     """
     existed = path.exists()
     with open(path, "a") as handle:
@@ -90,6 +111,8 @@ class QueueStatus:
     #: (None when no worker has published a snapshot yet)
     cells_per_sec: float | None = None
     eta_s: float | None = None
+    #: detected-corrupt records moved aside on merge (clean run: 0)
+    quarantined: int = 0
 
     @property
     def pending(self) -> int:
@@ -107,6 +130,7 @@ class QueueStatus:
             "workers": list(self.workers),
             "cells_per_sec": self.cells_per_sec,
             "eta_s": self.eta_s,
+            "quarantined": self.quarantined,
         }
 
     def summary(self) -> str:
@@ -128,9 +152,17 @@ class QueueStatus:
                 f"failed attempts on {len(self.failed_keys)} cell(s) "
                 f"(worst {worst}/{MAX_ATTEMPTS})"
             )
+        if self.quarantined:
+            lines.append(
+                f"QUARANTINE: {self.quarantined} corrupt record(s) moved "
+                f"aside (see queue_dir/quarantine/)"
+            )
         now = time.time()
         for worker in self.workers:
-            age = now - worker.get("last_seen", now)
+            # Clamp: last_seen is the *writer's* clock; on a skewed host
+            # it can sit ahead of ours, and a negative age would report
+            # bogus liveness.
+            age = max(0.0, now - worker.get("last_seen", now))
             lines.append(
                 f"worker {worker.get('worker_id', '?'):<20} "
                 f"{worker.get('hostname', '?'):<12} "
@@ -148,23 +180,39 @@ class WorkQueue:
         root: str | os.PathLike,
         lease_ttl: float = 30.0,
         create: bool = True,
+        store: Store | None = None,
     ) -> None:
         self.root = Path(root)
         if not create and not self.root.is_dir():
             raise FileNotFoundError(f"work queue not found: {self.root}")
+        self.store = store if store is not None else Store()
         self.tasks_dir = self.root / "tasks"
         self.done_dir = self.root / "done"
         self.failed_dir = self.root / "failed"
         self.results_dir = self.root / "results"
+        self.quarantine_dir = self.root / "quarantine"
         self.workers_dir = self.root / "workers"
         self.metrics_dir = self.root / "metrics"
         if create:
             for path in (
                 self.root, self.tasks_dir, self.done_dir, self.failed_dir,
-                self.results_dir, self.workers_dir, self.metrics_dir,
+                self.results_dir, self.quarantine_dir, self.workers_dir,
+                self.metrics_dir,
             ):
                 path.mkdir(parents=True, exist_ok=True)
-        self.leases = LeaseBoard(self.root / "leases", ttl=lease_ttl)
+        self.leases = LeaseBoard(
+            self.root / "leases", ttl=lease_ttl, store=self.store
+        )
+
+    def use_store(self, store: Store) -> None:
+        """Route this queue (and its lease board) through ``store``.
+
+        Workers install their own seam here so retries count into the
+        worker's metrics and scripted IO faults hit every queue/lease
+        operation the worker performs.
+        """
+        self.store = store
+        self.leases.store = store
 
     # -- execution context ------------------------------------------------
 
@@ -175,11 +223,11 @@ class WorkQueue:
         ``repro work`` processes agree on where trace artifacts go
         without per-worker flags.
         """
-        _atomic_write_json(self.root / "meta.json", meta)
+        self.store.atomic_write_json(self.root / "meta.json", meta)
 
     def read_meta(self) -> dict:
         try:
-            return json.loads((self.root / "meta.json").read_text())
+            return self.store.read_json(self.root / "meta.json")
         except (FileNotFoundError, json.JSONDecodeError):
             return {}
 
@@ -191,7 +239,9 @@ class WorkQueue:
         Idempotent: a key whose spec file already exists is left alone
         (its content is identical by construction — the key *is* the
         config hash), so any number of workers may race to enqueue the
-        same deterministic grid expansion.
+        same deterministic grid expansion. Specs are written with an
+        embedded CRC32 so a worker can detect on-disk corruption before
+        executing garbage.
         """
         keys = []
         for task in tasks:
@@ -199,7 +249,9 @@ class WorkQueue:
             keys.append(key)
             path = self.tasks_dir / f"{key}.json"
             if not path.exists():
-                _atomic_write_json(path, task.to_json_dict())
+                self.store.atomic_write_json(
+                    path, task.to_json_dict(), seal=True
+                )
         return keys
 
     def task_keys(self) -> list[str]:
@@ -207,9 +259,33 @@ class WorkQueue:
         return sorted(path.stem for path in self.tasks_dir.glob("*.json"))
 
     def load_task(self, key: str) -> ExperimentTask:
-        return ExperimentTask.from_json_dict(
-            json.loads((self.tasks_dir / f"{key}.json").read_text())
-        )
+        """Load and checksum-verify one task spec.
+
+        A spec that fails its checksum (or no longer parses) is
+        quarantined with provenance and raises — executing a corrupted
+        spec would publish a result under a key that no longer matches
+        its content.
+        """
+        path = self.tasks_dir / f"{key}.json"
+        text = self.store.read_text(path)
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            self._quarantine(f"task-{key}", 1, text, "task spec is not JSON")
+            raise ValueError(
+                f"task spec for {key} is corrupt (unparseable JSON); "
+                f"quarantined under {self.quarantine_dir}"
+            ) from None
+        body, verdict = verify_sealed_payload(payload)
+        if verdict is False:
+            self._quarantine(
+                f"task-{key}", 1, text, "task spec checksum mismatch"
+            )
+            raise ValueError(
+                f"task spec for {key} failed its CRC32 checksum; "
+                f"quarantined under {self.quarantine_dir}"
+            )
+        return ExperimentTask.from_json_dict(body)
 
     # -- completion -------------------------------------------------------
 
@@ -221,7 +297,7 @@ class WorkQueue:
 
     def mark_done(self, key: str, worker_id: str) -> None:
         """Write the O(1) completion marker (idempotent last-wins)."""
-        _atomic_write_json(
+        self.store.atomic_write_json(
             self.done_dir / f"{key}.json",
             {"worker_id": worker_id, "hostname": socket.gethostname(),
              "finished_at": time.time()},
@@ -232,7 +308,7 @@ class WorkQueue:
     def record_failure(self, key: str, worker_id: str, error: str) -> int:
         """Record one failed execution attempt; returns the new count."""
         attempt = self.failure_count(key) + 1
-        _atomic_write_json(
+        self.store.atomic_write_json(
             self.failed_dir / f"{key}-{attempt}-{worker_id}.json",
             {"key": key, "worker_id": worker_id, "attempt": attempt,
              "error": error, "at": time.time()},
@@ -257,10 +333,65 @@ class WorkQueue:
         out = []
         for path in sorted(self.failed_dir.glob(f"{key}-*.json")):
             try:
-                out.append(json.loads(path.read_text()).get("error", "?"))
+                out.append(self.store.read_json(path).get("error", "?"))
             except (json.JSONDecodeError, OSError):
                 continue
         return out
+
+    # -- quarantine -------------------------------------------------------
+
+    def _quarantine(
+        self, origin: str, line_no: int, raw: str, reason: str
+    ) -> None:
+        """Move one detected-corrupt record aside, with provenance.
+
+        Idempotent: the record name hashes the raw bytes, so re-merging
+        the same corrupt shard never double-counts. Quarantining is
+        best-effort — a store failure here is logged, not raised, so a
+        flaky quarantine write can never take down a merge.
+        """
+        import zlib
+
+        digest = f"{zlib.crc32(raw.encode('utf-8', 'replace')) & 0xFFFFFFFF:08x}"
+        name = f"{origin}-L{line_no}-{digest}.json"
+        record = {
+            "origin": origin,
+            "line_no": line_no,
+            "reason": reason,
+            "raw": raw[:4096],
+            "detected_at": time.time(),
+            "detected_by": f"{socket.gethostname()}-{os.getpid()}",
+        }
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            path = self.quarantine_dir / name
+            if not path.exists():
+                self.store.atomic_write_json(path, record)
+        except OSError as exc:
+            _log.warning(
+                "failed to write quarantine record",
+                extra=kv(origin=origin, line_no=line_no, error=str(exc)),
+            )
+        else:
+            _log.warning(
+                "quarantined corrupt record",
+                extra=kv(origin=origin, line_no=line_no, reason=reason),
+            )
+            if self.store.metrics is not None:
+                self.store.metrics.counter("store.quarantined").inc()
+
+    def quarantined(self) -> list[dict]:
+        """Every quarantine record (missing dir → [])."""
+        out = []
+        for path in sorted(self.quarantine_dir.glob("*.json")):
+            try:
+                out.append(self.store.read_json(path))
+            except (json.JSONDecodeError, OSError):
+                continue
+        return out
+
+    def quarantine_count(self) -> int:
+        return sum(1 for _ in self.quarantine_dir.glob("*.json"))
 
     # -- journal shards ---------------------------------------------------
 
@@ -270,38 +401,77 @@ class WorkQueue:
     def publish(self, worker_id: str, result: TaskResult) -> None:
         """Durably append ``result`` to the worker's own journal shard,
         then flip the done marker. Ordering matters: a crash between the
-        two re-issues the cell, and the duplicate row merges away."""
-        fsync_append(
+        two re-issues the cell, and the duplicate row merges away. Lines
+        carry a CRC32 seal so later corruption is detected, not merged.
+        """
+        self.store.fsync_append(
             self.shard_path(worker_id),
-            json.dumps(result.to_json_dict(), sort_keys=True),
+            seal_line(json.dumps(result.to_json_dict(), sort_keys=True)),
         )
         self.mark_done(result.key, worker_id)
 
     def merged_results(self) -> dict[str, TaskResult]:
-        """All shards merged by key (first shard wins; torn tails skipped).
+        """All shards merged by key — corruption detected, not absorbed.
 
         Duplicate keys across shards come only from straggler re-issues
-        and are bit-identical by construction, so either copy is the
-        result.
+        and are bit-identical by construction, so the first shard wins.
+        Three kinds of bad line are distinguished:
+
+        * a **torn tail** — the last non-empty line of a shard failing
+          to parse, with no checksum seal: the writer died mid-append.
+          Skipped silently; the cell re-issues (pre-seam behaviour).
+        * **interior corruption** — any other unparseable line, or any
+          line whose CRC32 seal does not match: the storage layer
+          mangled a record that was once written whole. Quarantined
+          with provenance, never silently dropped.
+        * a **sealed-but-unparseable** line — checksum matches, JSON
+          decode still fails (writer bug): quarantined too.
         """
         merged: dict[str, TaskResult] = {}
         for shard in sorted(self.results_dir.glob("journal-*.jsonl")):
-            with open(shard) as handle:
-                for line in handle:
-                    stripped = line.strip()
-                    if not stripped:
-                        continue
-                    try:
-                        result = TaskResult.from_json_dict(json.loads(stripped))
-                    except (json.JSONDecodeError, KeyError, ValueError):
-                        continue  # torn tail of a crashed worker
-                    merged.setdefault(result.key, result)
+            try:
+                text = self.store.read_text(shard)
+            except FileNotFoundError:
+                continue
+            lines = text.split("\n")
+            last_content = max(
+                (i for i, line in enumerate(lines) if line.strip()),
+                default=-1,
+            )
+            for line_no, line in enumerate(lines):
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                body, verdict = unseal_line(stripped)
+                if verdict is False:
+                    self._quarantine(
+                        shard.name, line_no + 1, stripped,
+                        "journal line checksum mismatch",
+                    )
+                    continue
+                try:
+                    result = TaskResult.from_json_dict(json.loads(body))
+                except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+                    if verdict is True:
+                        self._quarantine(
+                            shard.name, line_no + 1, stripped,
+                            "sealed journal line failed to parse",
+                        )
+                    elif line_no == last_content:
+                        pass  # torn tail of a crashed worker
+                    else:
+                        self._quarantine(
+                            shard.name, line_no + 1, stripped,
+                            "interior journal corruption (unsealed)",
+                        )
+                    continue
+                merged.setdefault(result.key, result)
         return merged
 
     # -- worker registry --------------------------------------------------
 
     def register_worker(self, worker_id: str, **info) -> None:
-        _atomic_write_json(
+        self.store.atomic_write_json(
             self.workers_dir / f"{worker_id}.json",
             {"worker_id": worker_id, "hostname": socket.gethostname(),
              "pid": os.getpid(), "last_seen": time.time(), **info},
@@ -311,7 +481,7 @@ class WorkQueue:
         out = []
         for path in sorted(self.workers_dir.glob("*.json")):
             try:
-                out.append(json.loads(path.read_text()))
+                out.append(self.store.read_json(path))
             except (json.JSONDecodeError, OSError):
                 continue
         return out
@@ -328,14 +498,16 @@ class WorkQueue:
         """
         # Queues created before metrics snapshots existed lack the dir.
         self.metrics_dir.mkdir(parents=True, exist_ok=True)
-        _atomic_write_json(self.metrics_dir / f"{worker_id}.json", snapshot)
+        self.store.atomic_write_json(
+            self.metrics_dir / f"{worker_id}.json", snapshot
+        )
 
     def worker_metrics(self) -> list[dict]:
         """Every worker's latest metrics snapshot (missing dir → [])."""
         out = []
         for path in sorted(self.metrics_dir.glob("*.json")):
             try:
-                out.append(json.loads(path.read_text()))
+                out.append(self.store.read_json(path))
             except (json.JSONDecodeError, OSError):
                 continue
         return out
@@ -346,7 +518,10 @@ class WorkQueue:
         Each snapshot contributes its worker's own lifetime rate; rates
         add because the workers execute concurrently. Exited workers
         stop contributing once any live worker has a snapshot, so the
-        ETA tracks the surviving capacity of an elastic pool.
+        ETA tracks the surviving capacity of an elastic pool. Elapsed
+        times difference the *writer's own* clock against itself, so
+        cross-host skew cannot produce a bogus rate — negatives are
+        discarded by the ``elapsed > 0`` guard regardless.
         """
         snaps = self.worker_metrics()
         live = [s for s in snaps if not s.get("exited")]
@@ -380,6 +555,12 @@ class WorkQueue:
         unclaimed = sum(1 for k in keys if k not in done and k not in claimed)
         n_done = sum(1 for k in keys if k in done)
         rate, eta = self._throughput(pending=len(keys) - n_done)
+        workers = self.workers()
+        for worker in workers:
+            # Age clamped at zero: `last_seen` came from the writer's
+            # clock, which may run ahead of this reader's on another
+            # host; a negative age is always clock skew, never data.
+            worker["age_s"] = max(0.0, now - worker.get("last_seen", now))
         return QueueStatus(
             total=len(keys),
             done=n_done,
@@ -387,7 +568,8 @@ class WorkQueue:
             leased_expired=expired,
             unclaimed=unclaimed,
             failed_keys=self.failures(),
-            workers=self.workers(),
+            workers=workers,
             cells_per_sec=rate,
             eta_s=eta,
+            quarantined=self.quarantine_count(),
         )

@@ -174,6 +174,11 @@ class ExperimentRunner:
     lease_ttl:
         Queue-mode lease expiry in seconds; a worker silent for this
         long forfeits its cell to re-issue.
+    cell_timeout_s:
+        Queue-mode per-cell execution deadline: a cell still running
+        after this many seconds is abandoned by its worker's watchdog,
+        recorded as a failed attempt (toward the re-issue budget) and
+        its lease released. None (default) disables the watchdog.
     worker_faults:
         Scripted :class:`~repro.dist.faults.FaultPlan` per local queue
         worker index (fault-injection tests/CI only).
@@ -197,6 +202,7 @@ class ExperimentRunner:
         dispatch: str = "pool",
         queue_dir: str | os.PathLike | None = None,
         lease_ttl: float = 30.0,
+        cell_timeout_s: float | None = None,
         worker_faults: Sequence | None = None,
         progress: bool | None = None,
     ) -> None:
@@ -222,6 +228,13 @@ class ExperimentRunner:
         self.dispatch = dispatch
         self.queue_dir = Path(queue_dir) if queue_dir is not None else None
         self.lease_ttl = float(lease_ttl)
+        if cell_timeout_s is not None and cell_timeout_s <= 0:
+            raise ValueError(
+                f"cell_timeout_s must be positive or None, got {cell_timeout_s!r}"
+            )
+        self.cell_timeout_s = (
+            float(cell_timeout_s) if cell_timeout_s is not None else None
+        )
         self.worker_faults = list(worker_faults) if worker_faults else []
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
@@ -502,6 +515,7 @@ class ExperimentRunner:
             trace_dir=trace_dir,
             trace_compact=self.trace_compact,
             batch_episodes=self.batch_episodes,
+            cell_timeout_s=self.cell_timeout_s,
             worker_faults=self.worker_faults,
         )
         for key in pending:

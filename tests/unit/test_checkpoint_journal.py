@@ -102,3 +102,68 @@ class TestAppendDurability:
         runner._append_checkpoint(make_result("b"))
         # …later appends only the file.
         assert len(synced) == 3
+
+
+class TestJournalInteriorCorruptionQuarantine:
+    """Interior corruption in queue journal shards is *quarantined*.
+
+    The runner's checkpoint journal above may silently repair torn
+    lines — it is single-writer, and a torn line there can only be its
+    own crash. The distributed journal shards cannot: an interior bad
+    line means the storage layer mangled a record that was once whole,
+    so the merge moves it to ``quarantine/`` with provenance instead of
+    absorbing it, and the surviving records still merge first-wins.
+    """
+
+    def _shard_queue(self, tmp_path, keys, worker="w0"):
+        from repro.dist.queue import WorkQueue
+
+        queue = WorkQueue(tmp_path / "q")
+        for key in keys:
+            result = make_result(key)
+            result.worker_id = worker
+            queue.publish(worker, result)
+        return queue
+
+    def test_bad_interior_line_lands_in_quarantine_with_provenance(
+        self, tmp_path
+    ):
+        queue = self._shard_queue(tmp_path, ["a", "b", "c"])
+        shard = queue.shard_path("w0")
+        lines = shard.read_text().splitlines()
+        lines[1] = lines[1][:40] + "##corrupted##" + lines[1][40:]
+        shard.write_text("\n".join(lines) + "\n")
+
+        merged = queue.merged_results()
+        assert set(merged) == {"a", "c"}  # survivors still merge
+        (record,) = queue.quarantined()
+        assert record["origin"] == shard.name
+        assert record["line_no"] == 2
+        assert "checksum" in record["reason"]
+        assert "##corrupted##" in record["raw"]
+        assert record["detected_by"] and record["detected_at"] > 0
+
+    def test_first_wins_merge_survives_corruption_in_one_shard(self, tmp_path):
+        """A duplicate publish in a later shard backfills the
+        quarantined copy, so the grid still completes losslessly."""
+        queue = self._shard_queue(tmp_path, ["a", "b"], worker="w0")
+        from repro.dist.queue import WorkQueue  # noqa: F401  (same queue)
+
+        duplicate = make_result("b")
+        duplicate.worker_id = "w1"
+        queue.publish("w1", duplicate)  # straggler duplicate
+        shard0 = queue.shard_path("w0")
+        lines = shard0.read_text().splitlines()
+        lines[1] = lines[1].replace('"key"', '"kex"')
+        shard0.write_text("\n".join(lines) + "\n")
+
+        merged = queue.merged_results()
+        assert set(merged) == {"a", "b"}
+        assert merged["b"].worker_id == "w1"  # the intact copy won
+        assert queue.quarantine_count() == 1
+
+    def test_clean_shards_quarantine_nothing(self, tmp_path):
+        queue = self._shard_queue(tmp_path, ["a", "b"])
+        assert set(queue.merged_results()) == {"a", "b"}
+        assert queue.quarantine_count() == 0
+        assert queue.status().quarantined == 0

@@ -9,6 +9,7 @@ import pytest
 from repro.dist.faults import FaultInjector, FaultPlan
 from repro.dist.lease import LeaseBoard
 from repro.dist.queue import MAX_ATTEMPTS, WorkQueue, fsync_append
+from repro.dist.store import RetryPolicy, Store
 from repro.dist.worker import QueueWorker, new_worker_id
 from repro.exp.records import ExperimentTask, TaskResult
 from repro.exp.runner import grid_tasks
@@ -270,3 +271,241 @@ class TestQueueWorker:
     def test_worker_ids_are_unique(self):
         assert new_worker_id() != new_worker_id()
         assert str(os.getpid()) in new_worker_id()
+
+
+def storm_store(plan: FaultPlan, **kwargs) -> Store:
+    """A fault-scripted store whose backoffs never actually sleep."""
+    kwargs.setdefault("retry", RetryPolicy(seed="test"))
+    return Store(faults=FaultInjector(plan), sleep=lambda _s: None, **kwargs)
+
+
+class TestLeaseStatFlake:
+    def test_stat_flake_on_torn_lease_reads_as_still_claimed(self, tmp_path):
+        """A store flake must never answer 'unclaimed' for a claimed key.
+
+        The conservative sentinel delays re-issue by one ttl; the
+        alternative (None) invites a second claim on a held cell.
+        """
+        plan = FaultPlan(io_faults=[{"op": "stat", "errno": "EIO", "count": 0}])
+        board = LeaseBoard(
+            tmp_path, ttl=30.0,
+            store=storm_store(plan, retry=RetryPolicy(max_retries=1, seed="t")),
+        )
+        (tmp_path / "cell.json").write_text('{"owner": "al')  # torn claim
+        lease = board.read("cell")
+        assert lease is not None
+        assert lease.owner == "?unreadable"
+        assert not lease.expired()
+
+    def test_torn_lease_without_flake_still_ages_out(self, tmp_path):
+        """The sentinel path does not regress normal torn-claim aging."""
+        import time
+
+        board = LeaseBoard(tmp_path, ttl=0.0001)
+        (tmp_path / "cell.json").write_text('{"owner": "al')
+        time.sleep(0.01)
+        lease = board.read("cell")
+        assert lease is not None and lease.expired()
+
+
+class TestClockSkewClamp:
+    def test_future_last_seen_reports_zero_age(self, tmp_path):
+        import time
+
+        queue = WorkQueue(tmp_path)
+        queue.register_worker("skewed")
+        path = queue.workers_dir / "skewed.json"
+        doc = __import__("json").loads(path.read_text())
+        doc["last_seen"] = time.time() + 3600.0  # writer's clock runs ahead
+        path.write_text(__import__("json").dumps(doc))
+        status = queue.status()
+        assert status.workers[0]["age_s"] == 0.0
+        assert "seen   0.0s ago" in status.summary()
+
+
+class TestQuarantine:
+    def test_checksum_mismatch_quarantines_not_merges(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.publish("w0", make_result("k1", "w0"))
+        queue.publish("w0", make_result("k2", "w0"))
+        shard = queue.shard_path("w0")
+        # Flip one byte inside the *first* (interior) record.
+        lines = shard.read_text().splitlines()
+        lines[0] = lines[0].replace('"avg_wait": 1.0', '"avg_wait": 9.9')
+        shard.write_text("\n".join(lines) + "\n")
+        merged = queue.merged_results()
+        assert set(merged) == {"k2"}  # the corrupt record never merges
+        records = queue.quarantined()
+        assert len(records) == 1
+        assert records[0]["reason"] == "journal line checksum mismatch"
+        assert records[0]["origin"] == shard.name
+        assert records[0]["line_no"] == 1
+        assert records[0]["detected_by"]
+        assert queue.status().quarantined == 1
+        assert "QUARANTINE: 1" in queue.status().summary()
+
+    def test_interior_unsealed_garbage_is_quarantined(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.publish("w0", make_result("k1", "w0"))
+        shard = queue.shard_path("w0")
+        good = shard.read_text()
+        shard.write_text("not json at all\n" + good)
+        merged = queue.merged_results()
+        assert set(merged) == {"k1"}
+        assert queue.quarantine_count() == 1
+
+    def test_torn_tail_is_still_skipped_silently(self, tmp_path):
+        """A crashed writer's torn tail is re-issue territory, not
+        corruption — it must NOT land in quarantine."""
+        queue = WorkQueue(tmp_path)
+        queue.publish("w0", make_result("k1", "w0"))
+        with open(queue.shard_path("w0"), "a") as handle:
+            handle.write('{"key": "k2", "met')
+        merged = queue.merged_results()
+        assert set(merged) == {"k1"}
+        assert queue.quarantine_count() == 0
+
+    def test_quarantine_is_idempotent_across_remerges(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.publish("w0", make_result("k1", "w0"))
+        shard = queue.shard_path("w0")
+        shard.write_text("garbage-line\n" + shard.read_text())
+        queue.merged_results()
+        queue.merged_results()
+        assert queue.quarantine_count() == 1
+
+    def test_corrupt_task_spec_is_detected_before_execution(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        (key,) = queue.enqueue(tiny_tasks(n_seeds=1))
+        spec = queue.tasks_dir / f"{key}.json"
+        doc = __import__("json").loads(spec.read_text())
+        doc["seed"] = doc["seed"] + 1  # bit-flip without breaking JSON
+        spec.write_text(__import__("json").dumps(doc))
+        with pytest.raises(ValueError, match="CRC32"):
+            queue.load_task(key)
+        assert queue.quarantine_count() == 1
+
+    def test_legacy_unsealed_records_still_merge(self, tmp_path):
+        """Pre-seam shards (no checksum suffix) keep working."""
+        import json as _json
+
+        queue = WorkQueue(tmp_path)
+        fsync_append(
+            queue.shard_path("old"),
+            _json.dumps(make_result("k1", "old").to_json_dict(), sort_keys=True),
+        )
+        merged = queue.merged_results()
+        assert set(merged) == {"k1"}
+        assert queue.quarantine_count() == 0
+
+
+class TestCellTimeout:
+    def test_hung_cell_is_abandoned_and_poisoned(self, tmp_path):
+        import threading
+
+        queue = WorkQueue(tmp_path)
+        keys = queue.enqueue(tiny_tasks(n_seeds=1))
+        release = threading.Event()
+
+        def hang(task, *args):
+            release.wait(30.0)  # a simulation that never returns
+
+        worker = QueueWorker(
+            queue, worker_id="watchdogged", cell_timeout_s=0.1,
+            poll_interval=0.01, execute=hang,
+        )
+        report = worker.run()
+        release.set()  # unblock the abandoned daemon threads
+        assert report.timed_out == keys * MAX_ATTEMPTS
+        assert queue.poisoned(keys[0])
+        assert not queue.is_done(keys[0])
+        assert queue.leases.read(keys[0]) is None  # lease released
+        assert "cell_timeout_s" in queue.failure_errors(keys[0])[0]
+
+    def test_timeout_from_queue_meta(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.write_meta(cell_timeout_s=12.5)
+        worker = QueueWorker(queue, worker_id="late-joiner")
+        worker.run()  # empty queue: resolves meta then drains
+        assert worker.cell_timeout_s == 12.5
+
+    def test_fast_cell_under_deadline_completes_normally(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        keys = queue.enqueue(tiny_tasks(n_seeds=1))
+        report = QueueWorker(
+            queue, worker_id="fast", cell_timeout_s=120.0
+        ).run()
+        assert report.executed == keys and not report.timed_out
+        assert queue.is_done(keys[0])
+
+
+class TestDegradedMode:
+    def _worker(self, queue, plan, **kwargs):
+        worker = QueueWorker(
+            queue, worker_id="degraded", poll_interval=0.01,
+            faults=FaultInjector(plan),
+            spool_dir=queue.root.parent / "spool",
+            **kwargs,
+        )
+        # Re-seat the store so the scripted faults flow through it but
+        # the backoff sleeps stay instant.
+        worker.store._sleep = lambda _s: None
+        return worker
+
+    def test_publish_failure_spools_then_flushes_on_recovery(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        keys = queue.enqueue(tiny_tasks())
+        # ENOSPC on the first two journal appends, then the volume
+        # "recovers": publish #1 fails + the first flush try fails, the
+        # second flush succeeds.
+        plan = FaultPlan(io_faults=[
+            {"op": "append", "path": "results/*", "errno": "ENOSPC",
+             "count": 2},
+        ])
+        report = self._worker(queue, plan).run()
+        assert len(report.spooled) == 1
+        assert sorted(report.executed) == sorted(keys)
+        merged = queue.merged_results()
+        assert set(merged) == set(keys)  # nothing lost to the outage
+        assert not (queue.root.parent / "spool" / "results.jsonl").exists()
+
+    def test_store_that_stays_down_exits_actionably(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(tiny_tasks(n_seeds=1))
+        plan = FaultPlan(io_faults=[
+            {"op": "append", "path": "results/*", "errno": "ENOSPC",
+             "count": 0},
+        ])
+        worker = self._worker(queue, plan)
+        with pytest.raises(RuntimeError, match="spooled"):
+            worker.run()
+        # The finished result survived on local disk, sealed.
+        spooled = (queue.root.parent / "spool" / "results.jsonl").read_text()
+        from repro.dist.store import unseal_line
+
+        body, verdict = unseal_line(spooled.strip())
+        assert verdict is True
+        assert __import__("json").loads(body)["key"]
+
+    def test_heartbeat_survives_store_flakes(self, tmp_path):
+        from repro.dist.worker import Heartbeat
+
+        queue = WorkQueue(tmp_path / "q")
+        queue.leases.try_claim("cell", "hb-owner")
+        plan = FaultPlan(io_faults=[
+            {"op": "write", "path": "leases/*", "errno": "EIO", "count": 1},
+        ])
+        queue.use_store(storm_store(plan, retry=RetryPolicy(max_retries=0, seed="h")))
+        heartbeat = Heartbeat(
+            queue, "cell", "hb-owner", interval=0.01,
+            faults=FaultInjector(),
+        )
+        heartbeat.start()
+        import time
+
+        time.sleep(0.2)
+        heartbeat.stop()
+        # The first renewal errored (EIO, no retries) but the thread
+        # kept beating and later renewals extended the lease.
+        assert heartbeat.owned
+        assert queue.leases.read("cell").renewals >= 1
