@@ -21,15 +21,24 @@ Four subcommands, each a thin shell over :mod:`repro.api`:
 ``repro work --queue DIR``
     Join a shared-directory work queue as an elastic worker: claim
     lease-able grid cells, execute them, publish durably, repeat until
-    the queue drains (``--wait`` keeps polling for new cells). Start or
+    the queue drains (``--wait`` keeps polling for new cells, exiting
+    with a distinct status once the run manifest completes). Start or
     kill any number of these, on any host sharing the directory, at any
-    point mid-grid.
+    point mid-grid. ``--supervise N`` runs N workers under a supervisor
+    that respawns crashed processes with exponential backoff and a
+    crash-loop circuit breaker.
 ``repro queue-status --queue DIR``
     One snapshot of a work queue's progress: done/leased/expired cell
     counts, failures, workers seen, and — once workers have published
     metrics snapshots — cells/sec throughput with an ETA.
     ``--watch N`` refreshes the snapshot every N seconds until the
     queue drains.
+``repro doctor QUEUE_DIR``
+    Audit a queue directory after an incident: corrupt/unsealed
+    manifests, orphan or expired leases, dead coordinators, stale
+    worker registrations, leftover staging/temp files, quarantine and
+    spool backlog. Dry-run by default; ``--repair`` applies the safe
+    mechanical repairs. Exit 0 when the audit is clean.
 ``repro trace export --telemetry DIR``
     Convert a ``--telemetry`` run's span records into one Chrome-trace
     JSON file that chrome://tracing and https://ui.perfetto.dev load
@@ -241,6 +250,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "hung cell is abandoned, recorded as a failed "
                              "attempt and its lease released (default: the "
                              "queue meta's execution.cell_timeout_s, if any)")
+    p_work.add_argument("--supervise", type=int, default=None, metavar="N",
+                        help="run N workers under a supervisor that "
+                             "respawns crashed worker processes with "
+                             "exponential backoff and opens a circuit "
+                             "breaker on a crash loop (exit 2)")
+    p_work.add_argument("--max-crashes", type=int, default=5, metavar="N",
+                        help="consecutive crashes that open a supervised "
+                             "slot's circuit breaker (with --supervise)")
+    p_work.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                        help="base respawn backoff in seconds, doubled per "
+                             "consecutive crash (with --supervise)")
     p_work.add_argument("--faults", default=None, metavar="FILE",
                         help="scripted FaultPlan JSON file (fault-injection "
                              "testing; REPRO_DIST_FAULTS env overrides)")
@@ -271,6 +291,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_qstat.add_argument("--json", action="store_true",
                          help="machine-readable output (one JSON document "
                               "per refresh with --watch)")
+
+    p_doctor = sub.add_parser(
+        "doctor",
+        help="audit (and repair) a work-queue directory",
+        description="Walk one queue directory and report every anomaly "
+                    "the dispatch layer understands: corrupt or unsealed "
+                    "run manifests, unpromoted/orphan batch files, dead "
+                    "coordinators, orphan and expired leases, stale "
+                    "worker registrations, leftover temp files, "
+                    "quarantine contents and spool backlog. Dry-run by "
+                    "default: nothing is touched without --repair. Exit "
+                    "0 when nothing unrepaired at warning-or-worse "
+                    "severity remains, else 1.",
+    )
+    p_doctor.add_argument("queue_dir", metavar="QUEUE_DIR",
+                          help="the work-queue directory to audit")
+    p_doctor.add_argument("--repair", action="store_true",
+                          help="apply the safe mechanical repairs "
+                               "(promote/release/reap/delete); default is "
+                               "a dry run that only reports")
+    p_doctor.add_argument("--stale-after", type=float, default=300.0,
+                          metavar="S",
+                          help="age in seconds after which a worker "
+                               "registration with no exit record counts "
+                               "as stale")
+    p_doctor.add_argument("--json", action="store_true",
+                          help="machine-readable report")
 
     p_trace = sub.add_parser(
         "trace",
@@ -595,6 +642,8 @@ def _cmd_work(args: argparse.Namespace) -> int:
         from pathlib import Path
 
         plan = FaultPlan.from_json(Path(args.faults).read_text())
+    if args.supervise is not None:
+        return _run_supervised(args, plan)
     worker = QueueWorker(
         WorkQueue(args.queue, create=False),
         worker_id=args.worker_id,
@@ -628,6 +677,7 @@ def _cmd_work(args: argparse.Namespace) -> int:
             "failed": report.failed,
             "timed_out": report.timed_out,
             "spooled": report.spooled,
+            "exit_reason": report.exit_reason,
         }, indent=2, sort_keys=True))
     else:
         print(
@@ -636,8 +686,81 @@ def _cmd_work(args: argparse.Namespace) -> int:
             f"{len(report.failed)} failed"
             + (f", {len(report.timed_out)} timed out"
                if report.timed_out else "")
+            + (f" [{report.exit_reason}]" if report.exit_reason else "")
         )
     return 1 if report.failed else 0
+
+
+def _run_supervised(args: argparse.Namespace, plan) -> int:
+    """The ``repro work --supervise N`` branch: spawn-and-respawn N
+    worker processes instead of running one inline loop."""
+    from repro.dist import WorkerSupervisor
+
+    if args.supervise < 1:
+        raise ValueError(
+            f"--supervise needs at least one worker slot, "
+            f"got {args.supervise}"
+        )
+    if args.backoff <= 0:
+        raise ValueError(f"--backoff must be positive, got {args.backoff}")
+    if args.max_crashes < 1:
+        raise ValueError(
+            f"--max-crashes must be at least 1, got {args.max_crashes}"
+        )
+    supervisor = WorkerSupervisor(
+        args.queue,
+        args.supervise,
+        lease_ttl=args.lease_ttl,
+        backoff_base_s=args.backoff,
+        max_crashes=args.max_crashes,
+        wait_for_work=args.wait,
+        cell_timeout_s=args.cell_timeout,
+        worker_poll_interval=args.poll,
+        # A scripted plan applies to each slot's *first* incarnation
+        # only — respawned workers run clean, which is exactly the
+        # crash-then-recover rehearsal the flag exists for.
+        spawn_faults=[[plan] for _ in range(args.supervise)] if plan else None,
+    )
+    try:
+        report = supervisor.run()
+    except KeyboardInterrupt:
+        supervisor.stop()
+        report = supervisor.report
+        report.exit_reason = report.exit_reason or "stopped"
+    if args.json:
+        print(json.dumps({
+            "slots": report.slots,
+            "spawned": report.spawned,
+            "crashes": report.crashes,
+            "strikes": report.strikes,
+            "circuit_open": report.circuit_open,
+            "exit_reason": report.exit_reason,
+        }, indent=2, sort_keys=True))
+    else:
+        print(
+            f"supervisor: {report.slots} slot(s), {report.spawned} "
+            f"spawn(s), {report.crashes} crash(es), {report.strikes} "
+            f"lease strike(s)"
+            + (f", circuit open on slot(s) {report.circuit_open}"
+               if report.circuit_open else "")
+            + (f" [{report.exit_reason}]" if report.exit_reason else "")
+        )
+    return 2 if report.exit_reason == "circuit_open" else 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.dist import audit_queue
+
+    report = audit_queue(
+        args.queue_dir,
+        repair=args.repair,
+        stale_worker_s=args.stale_after,
+    )
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_queue_status(args: argparse.Namespace) -> int:
@@ -733,6 +856,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "work": _cmd_work,
     "queue-status": _cmd_queue_status,
+    "doctor": _cmd_doctor,
     "trace": _cmd_trace,
 }
 

@@ -239,6 +239,7 @@ def run_scenario(
             if execution.get("cell_timeout_s")
             else None
         ),
+        supervise=bool(execution.get("supervise", False)),
         progress=progress,
     )
     tasks = scenario.compile(config=config)

@@ -76,7 +76,8 @@ _EVALUATION_KEYS = frozenset(
     {"policies", "trace_dir", "bootstrap", "seed", "compact_traces"}
 )
 _EXECUTION_KEYS = frozenset(
-    {"dispatch", "queue_dir", "workers", "lease_ttl", "cell_timeout_s"}
+    {"dispatch", "queue_dir", "workers", "lease_ttl", "cell_timeout_s",
+     "supervise"}
 )
 _CONFIG_KEYS = frozenset(
     {
@@ -408,6 +409,11 @@ class Scenario:
                     and not isinstance(cell_timeout, bool) and cell_timeout > 0),
                 f"execution.cell_timeout_s must be a positive number, "
                 f"got {cell_timeout!r}",
+            )
+            supervise = self.execution.get("supervise", False)
+            _require(
+                isinstance(supervise, bool),
+                f"execution.supervise must be a bool, got {supervise!r}",
             )
 
         _require(

@@ -20,15 +20,32 @@ for tests, and :class:`~repro.dist.store.StoreUnavailable` as the
 degraded-mode escalation signal (workers spool finished results locally
 and flush when the store recovers).
 
+The *run* is crash-safe end to end: a CRC-sealed run manifest
+(:class:`~repro.dist.manifest.RunManifest`) records the grid expansion
+and publishes the atomic batch enqueue, a coordinator leader-lease lets
+any re-invocation attach to a live run or take over a dead one
+(resuming to bit-identical merged metrics), crashed local workers can
+be respawned with backoff and a crash-loop circuit breaker
+(:class:`~repro.dist.supervise.WorkerSupervisor`, ``repro work
+--supervise N``), and :func:`~repro.dist.doctor.audit_queue`
+(``repro doctor``) reports/repairs whatever an incident left behind.
+
 Use it through ``ExperimentRunner(dispatch="queue", queue_dir=...)``,
 a scenario's ``execution`` block, or the ``repro work`` /
-``repro queue-status`` CLI subcommands. Scripted failures for tests live
-in :mod:`repro.dist.faults`.
+``repro queue-status`` / ``repro doctor`` CLI subcommands. Scripted
+failures for tests live in :mod:`repro.dist.faults`.
 """
 
-from repro.dist.coordinator import dispatch_tasks
+from repro.dist.coordinator import dispatch_tasks, worker_process_entry
+from repro.dist.doctor import DoctorReport, Finding, audit_queue
 from repro.dist.faults import FaultInjector, FaultPlan
 from repro.dist.lease import Lease, LeaseBoard
+from repro.dist.manifest import (
+    COORDINATOR_KEY,
+    ManifestCorrupt,
+    RunManifest,
+    ensure_enqueued,
+)
 from repro.dist.queue import QueueStatus, WorkQueue
 from repro.dist.store import (
     RetryPolicy,
@@ -38,6 +55,7 @@ from repro.dist.store import (
     seal_line,
     unseal_line,
 )
+from repro.dist.supervise import SupervisorReport, WorkerSupervisor
 from repro.dist.worker import (
     CellTimeout,
     QueueWorker,
@@ -62,5 +80,15 @@ __all__ = [
     "seal_line",
     "unseal_line",
     "dispatch_tasks",
+    "worker_process_entry",
     "new_worker_id",
+    "RunManifest",
+    "ManifestCorrupt",
+    "ensure_enqueued",
+    "COORDINATOR_KEY",
+    "WorkerSupervisor",
+    "SupervisorReport",
+    "audit_queue",
+    "DoctorReport",
+    "Finding",
 ]

@@ -3,30 +3,49 @@
 :func:`dispatch_tasks` is what :class:`~repro.exp.runner.ExperimentRunner`
 delegates to in ``dispatch="queue"`` mode. It plays the *coordinator*
 role of the lease protocol — which is deliberately thin, because the
-protocol is serverless: the coordinator just enqueues the deterministic
-grid expansion, starts N local worker processes, and then polls the
-queue while reaping expired leases until every cell is done. External
-workers (``repro work --queue DIR`` on any host sharing the directory)
-can join or leave at any point; the coordinator neither knows nor cares
-who executes a cell, because completion is defined by the queue state,
-not by its children.
+protocol is serverless: the coordinator seals the run manifest (the
+deterministic grid expansion, published by an atomic batch enqueue —
+see :mod:`repro.dist.manifest`), starts N local worker processes, and
+then polls the queue while reaping expired leases until every cell is
+done. External workers (``repro work --queue DIR`` on any host sharing
+the directory) can join or leave at any point; the coordinator neither
+knows nor cares who executes a cell, because completion is defined by
+the queue state, not by its children.
+
+The coordinator itself is crash-safe. It holds a **leader lease** (the
+reserved ``__coordinator__`` key on the ordinary lease board) renewed by
+the ordinary heartbeat thread, so any re-invocation of the same dispatch
+against the same queue directory does the right thing:
+
+* the previous coordinator is **alive** → attach: poll the queue and
+  return the leader's merge once the manifest completes;
+* it is **dead** → take over: the stale lease is reaped on expiry (or
+  released immediately when the owner is a dead local pid), the
+  interrupted enqueue resumes from the manifest state machine, and the
+  drain continues from done-markers/journals — merged metrics are
+  bit-identical to an uninterrupted run.
 
 Liveness guarantee: if every local worker dies (scripted faults, OOM,
 operator SIGKILL) while cells remain and no external worker shows up
 within a lease ttl, the coordinator drains the remainder *inline* — the
-grid always terminates with the same bit-identical results.
+grid always terminates with the same bit-identical results. With
+``supervise=True`` the local workers additionally sit under a
+:class:`~repro.dist.supervise.WorkerSupervisor` that respawns crashed
+processes with exponential backoff and a crash-loop circuit breaker.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import socket
 import sys
 import time
 
-from repro.dist.faults import FaultPlan
+from repro.dist.faults import FaultInjector, FaultPlan
+from repro.dist.manifest import COORDINATOR_KEY, RunManifest, ensure_enqueued
 from repro.dist.queue import WorkQueue
-from repro.dist.worker import QueueWorker
+from repro.dist.worker import Heartbeat, QueueWorker
 from repro.exp.records import ExperimentTask, TaskResult
 from repro.obs import runtime as _obs_runtime
 from repro.obs.logbridge import get_logger, kv
@@ -44,13 +63,16 @@ def worker_process_entry(
     plan: FaultPlan | None,
     modules: tuple[str, ...],
     parent_path: list[str],
+    options: dict | None = None,
 ) -> None:
     """Subprocess target for a coordinator-spawned worker.
 
     Mirrors the process-pool initializer contract: a ``spawn``-started
     interpreter first restores the parent's ``sys.path`` and re-imports
     the plugin registration modules so ``@register_*``'d components
-    resolve; under ``fork`` both steps are cached no-ops.
+    resolve; under ``fork`` both steps are cached no-ops. ``options``
+    carries extra :class:`QueueWorker` keyword arguments (the
+    supervisor uses it for ``wait_for_work``/``cell_timeout_s``/…).
     """
     from repro.api.registry import import_plugin_modules
 
@@ -62,7 +84,110 @@ def worker_process_entry(
         WorkQueue(queue_dir, lease_ttl=lease_ttl, create=False),
         worker_id=worker_id,
         faults=plan,
+        **(options or {}),
     ).run()
+
+
+def _coordinator_owner() -> str:
+    """Leader-lease owner id: host-qualified so a reader can tell a
+    dead *local* coordinator from one on another host."""
+    return f"coord-{socket.gethostname().split('.')[0]}-{os.getpid()}"
+
+
+def _local_owner_dead(owner: str) -> bool:
+    """Whether ``owner`` names a coordinator on *this* host whose pid is
+    gone — the fast path that skips the lease-ttl wait on takeover.
+
+    Conservative: any doubt (foreign host, unparseable id, pid alive or
+    unprobeable) answers False and the caller falls back to waiting for
+    lease expiry.
+    """
+    if not owner.startswith("coord-"):
+        return False
+    body = owner[len("coord-"):]
+    host, sep, pid_text = body.rpartition("-")
+    if not sep or host != socket.gethostname().split(".")[0]:
+        return False
+    try:
+        pid = int(pid_text)
+    except ValueError:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except OSError:
+        return False  # alive (EPERM) or unprobeable: assume alive
+    return False
+
+
+def _acquire_leadership(
+    queue: WorkQueue,
+    owner: str,
+    keys: list[str],
+    poll_interval: float,
+) -> dict[str, TaskResult] | None:
+    """Claim the coordinator leader lease, or attach to a live leader.
+
+    Returns ``None`` once *this* process holds the lease (possibly
+    after taking over from a dead leader), or the finished run's merged
+    results when a live leader carried the run to completion while we
+    watched — the attach path of a double-invoked ``repro run --queue``.
+    """
+    session = _obs_runtime.session
+    attached = False
+    while True:
+        if queue.leases.try_claim(COORDINATOR_KEY, owner):
+            if attached and session is not None:
+                session.event("run_takeover", queue=str(queue.root))
+            if attached:
+                _log.warning(
+                    "previous coordinator gone; taking the run over",
+                    extra=kv(queue=str(queue.root), owner=owner),
+                )
+            return None
+        lease = queue.leases.read(COORDINATOR_KEY)
+        if lease is None:
+            continue  # released/reaped between claim and read: retry
+        now = time.time()
+        if lease.expired(now):
+            queue.leases.reap(COORDINATOR_KEY, now)
+            attached = True
+            continue
+        if _local_owner_dead(lease.owner):
+            # Same host, pid gone: no need to wait out the ttl.
+            queue.leases.force_release(COORDINATOR_KEY)
+            attached = True
+            continue
+        if not attached:
+            attached = True
+            _log.info(
+                "live coordinator holds this run; attaching",
+                extra=kv(queue=str(queue.root), leader=lease.owner),
+            )
+            if session is not None:
+                session.event(
+                    "run_attach", queue=str(queue.root), leader=lease.owner
+                )
+        # A live leader is driving. If it finished a run covering our
+        # grid, its merge is our answer; otherwise keep watching.
+        try:
+            manifest = queue.read_manifest()
+        except Exception:
+            manifest = None
+        if (
+            manifest is not None
+            and manifest.complete
+            and set(keys) <= set(manifest.keys)
+        ):
+            merged = queue.merged_results()
+            if all(k in merged for k in keys):
+                _log.info(
+                    "attached run complete; returning leader's merge",
+                    extra=kv(cells=len(keys)),
+                )
+                return {k: merged[k] for k in keys}
+        time.sleep(poll_interval)
 
 
 def dispatch_tasks(
@@ -79,76 +204,135 @@ def dispatch_tasks(
     cell_timeout_s: float | None = None,
     worker_faults: "list[FaultPlan | None] | None" = None,
     inline_fallback: bool = True,
+    supervise: bool = False,
+    coordinator_faults: "FaultPlan | FaultInjector | None" = None,
 ) -> dict[str, TaskResult]:
     """Run ``tasks`` through a shared-directory queue; results by key.
 
-    Enqueues the cells (idempotently — re-dispatching a half-finished
-    grid into the same directory resumes it), starts ``n_workers`` local
-    worker processes, and coordinates until every cell has a published
-    result: reaping expired leases so crashed/straggling workers'
-    cells re-issue, and draining inline if all workers are lost with no
-    elastic replacement in sight. ``worker_faults`` aligns scripted
-    :class:`FaultPlan`\\ s with local worker indices (testing/CI only).
+    Seals the run manifest and publishes the cells in one atomic batch
+    (re-dispatching a half-finished — or half-*enqueued* — grid into
+    the same directory resumes it), starts ``n_workers`` local worker
+    processes (supervised with respawn/backoff when ``supervise``), and
+    coordinates until every cell has a published result: reaping
+    expired leases so crashed/straggling workers' cells re-issue, and
+    draining inline if all workers are lost with no elastic replacement
+    in sight. ``worker_faults`` aligns scripted :class:`FaultPlan`\\ s
+    with local worker indices; ``coordinator_faults`` scripts the
+    coordinator's own death (``kill_coordinator_at``), defaulting to
+    the ``REPRO_DIST_FAULTS`` environment plan (testing/CI only).
     """
     queue = WorkQueue(queue_dir, lease_ttl=lease_ttl)
+    if coordinator_faults is None:
+        # Only the coordinator-facing fields matter here: spawned
+        # workers receive their plans explicitly and never read the
+        # environment, so a worker-facing env plan is inert.
+        coordinator_faults = FaultPlan.from_env()
+    injector = (
+        coordinator_faults
+        if isinstance(coordinator_faults, FaultInjector)
+        else FaultInjector(coordinator_faults)
+    )
     session = _obs_runtime.session
-    telemetry_dir = (
-        str(session.directory)
-        if session is not None and session.directory is not None
-        else None
-    )
-    queue.write_meta(
-        trace_dir=trace_dir,
-        trace_compact=bool(trace_compact),
-        batch_episodes=int(batch_episodes),
-        # Late-joining `repro work` processes follow the coordinator's
-        # telemetry directory without per-worker flags; same for the
-        # per-cell execution deadline.
-        **({"cell_timeout_s": float(cell_timeout_s)} if cell_timeout_s else {}),
-        **({"telemetry": telemetry_dir} if telemetry_dir else {}),
-    )
-    keys = queue.enqueue(tasks)
+    keys = [task.key() for task in tasks]
     key_set = set(keys)
-    _log.info(
-        "grid enqueued",
-        extra=kv(queue=str(queue.root), cells=len(key_set), workers=n_workers),
-    )
 
-    from repro.api.registry import registration_modules
-
-    if mp_start_method is None:
-        mp_start_method = "fork" if sys.platform.startswith("linux") else "spawn"
-    context = multiprocessing.get_context(mp_start_method)
-    modules = registration_modules()
-    faults = list(worker_faults or [])
-    procs = []
-    for index in range(max(0, n_workers)):
-        plan = faults[index] if index < len(faults) else None
-        proc = context.Process(
-            target=worker_process_entry,
-            args=(
-                str(queue.root),
-                f"w{index}-{os.getpid()}",
-                lease_ttl,
-                plan,
-                modules,
-                list(sys.path),
-            ),
-            daemon=False,
+    owner = _coordinator_owner()
+    attached = _acquire_leadership(queue, owner, keys, poll_interval)
+    if attached is not None:
+        return attached
+    if session is not None:
+        session.event(
+            "run_leader", queue=str(queue.root), owner=owner,
+            cells=len(key_set),
         )
-        proc.start()
-        procs.append(proc)
+    heartbeat = Heartbeat(
+        queue, COORDINATOR_KEY, owner, lease_ttl / 4.0, injector,
+        metrics=session.metrics if session is not None else None,
+    )
+    heartbeat.start()
 
-    def outstanding() -> list[str]:
-        done = queue.done_keys()
-        return [k for k in keys if k not in done]
-
+    supervisor = None
+    procs: list = []
     try:
+        telemetry_dir = (
+            str(session.directory)
+            if session is not None and session.directory is not None
+            else None
+        )
+        context_doc = dict(
+            trace_dir=trace_dir,
+            trace_compact=bool(trace_compact),
+            batch_episodes=int(batch_episodes),
+            # Late-joining `repro work` processes follow the
+            # coordinator's telemetry directory without per-worker
+            # flags; same for the per-cell execution deadline.
+            **({"cell_timeout_s": float(cell_timeout_s)} if cell_timeout_s else {}),
+            **({"telemetry": telemetry_dir} if telemetry_dir else {}),
+        )
+        queue.write_meta(**context_doc)
+        manifest = ensure_enqueued(
+            queue, tasks, context=context_doc, injector=injector
+        )
+        _log.info(
+            "run manifest sealed",
+            extra=kv(
+                queue=str(queue.root), manifest_run=manifest.run_id,
+                generation=manifest.generation, cells=len(key_set),
+                workers=n_workers,
+            ),
+        )
+
+        def outstanding() -> list[str]:
+            done = queue.done_keys()
+            return [k for k in keys if k not in done]
+
+        pending_now = outstanding()
+        if pending_now:
+            from repro.api.registry import registration_modules
+
+            if mp_start_method is None:
+                mp_start_method = (
+                    "fork" if sys.platform.startswith("linux") else "spawn"
+                )
+            mp_context = multiprocessing.get_context(mp_start_method)
+            modules = registration_modules()
+            faults = list(worker_faults or [])
+            if supervise and n_workers > 0:
+                from repro.dist.supervise import WorkerSupervisor
+
+                supervisor = WorkerSupervisor(
+                    queue,
+                    n_workers,
+                    lease_ttl=lease_ttl,
+                    cell_timeout_s=cell_timeout_s,
+                    spawn_faults=[[plan] for plan in faults],
+                    mp_start_method=mp_start_method,
+                )
+                supervisor.start()
+            else:
+                for index in range(max(0, n_workers)):
+                    plan = faults[index] if index < len(faults) else None
+                    proc = mp_context.Process(
+                        target=worker_process_entry,
+                        args=(
+                            str(queue.root),
+                            f"w{index}-{os.getpid()}",
+                            lease_ttl,
+                            plan,
+                            modules,
+                            list(sys.path),
+                        ),
+                        daemon=False,
+                    )
+                    proc.start()
+                    procs.append(proc)
+
         fallback_deadline: float | None = None
         while True:
             pending = outstanding()
             if not pending:
                 break
+            injector.on_coordinator("dispatch")
             if session is not None:
                 session.metrics.gauge("dist.pending").set(len(pending))
             now = time.time()
@@ -171,11 +355,16 @@ def dispatch_tasks(
                     f"{queue.failure_count(poisoned[0])} attempt(s) and were "
                     f"withdrawn; first error:\n{errors[-1] if errors else '?'}"
                 )
-            if all(p.exitcode is not None for p in procs):
-                # Every local worker exited with cells still pending
-                # (crash-scripted or killed externally). Give an elastic
-                # external worker one lease ttl to pick the grid up,
-                # then drain inline so the dispatch always terminates.
+            locals_gone = (
+                supervisor.done
+                if supervisor is not None
+                else all(p.exitcode is not None for p in procs)
+            )
+            if locals_gone:
+                # Every local worker exited (or the supervisor gave up)
+                # with cells still pending. Give an elastic external
+                # worker one lease ttl to pick the grid up, then drain
+                # inline so the dispatch always terminates.
                 if fallback_deadline is None:
                     fallback_deadline = now + lease_ttl
                     _log.warning(
@@ -194,12 +383,20 @@ def dispatch_tasks(
                 fallback_deadline = None
             time.sleep(poll_interval)
     finally:
+        if supervisor is not None:
+            supervisor.stop()
         for proc in procs:
             proc.join(timeout=30.0)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
+        heartbeat.stop()
+        try:
+            queue.leases.release(COORDINATOR_KEY, owner)
+        except OSError:
+            pass  # best-effort: an orphan leader lease ages out
 
+    injector.on_coordinator("merge")
     merged = queue.merged_results()
     quarantined = queue.quarantine_count()
     if quarantined:
@@ -213,6 +410,7 @@ def dispatch_tasks(
             f"queue dispatch finished with {len(missing)} unpublished "
             f"cell(s): {missing[:4]}{'…' if len(missing) > 4 else ''}"
         )
+    _mark_complete(queue, manifest)
     if session is not None:
         session.metrics.gauge("dist.pending").set(0)
         # Roll the workers' published snapshots up into one aggregate
@@ -232,3 +430,38 @@ def dispatch_tasks(
         )
     _log.info("grid drained", extra=kv(cells=len(keys)))
     return {k: merged[k] for k in keys}
+
+
+def _mark_complete(queue: WorkQueue, manifest: RunManifest) -> None:
+    """Flip the manifest to ``complete`` once *every* promised cell —
+    across all generations, not just this dispatch's — is done; elastic
+    ``--wait`` workers key their exit off this. Best-effort: a store
+    flake here costs a worker some extra polling, never correctness."""
+    from dataclasses import replace
+
+    if manifest.complete:
+        return
+    try:
+        done = queue.done_keys()
+        if set(manifest.keys) <= done:
+            queue.write_manifest(
+                replace(manifest, state="complete", updated_at=time.time())
+            )
+            session = _obs_runtime.session
+            if session is not None:
+                session.event(
+                    "run_complete", manifest_run=manifest.run_id,
+                    cells=len(manifest.keys),
+                )
+            _log.info(
+                "run manifest complete",
+                extra=kv(
+                    manifest_run=manifest.run_id, cells=len(manifest.keys)
+                ),
+            )
+    except OSError as exc:
+        _log.warning(
+            "failed to mark run manifest complete; workers will keep "
+            "polling",
+            extra=kv(error=str(exc)),
+        )

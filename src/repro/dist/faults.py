@@ -13,6 +13,13 @@ reproduce the same failure on every run:
   keeps executing, its lease expires, the cell is re-issued elsewhere
   and the late publish lands idempotently).
 * ``delay_publish_s=t`` — sleep before every publish (publish skew).
+* ``kill_coordinator_at=point`` — SIGKILL the *coordinator* process at
+  a named run-lifecycle point: ``staged`` (manifest written, specs not
+  yet staged — mid-enqueue), ``sealed`` (manifest sealed, batches not
+  yet promoted), ``dispatch`` (inside the dispatch poll loop) or
+  ``merge`` (just before the final merge). ``kill_coordinator_nth``
+  picks the *n*-th crossing of that point (the dispatch loop crosses
+  it every poll), so a resume-then-die-again can be scripted.
 * ``io_faults=[{...}, ...]`` — scripted *storage* faults fired by the
   :class:`~repro.dist.store.Store` seam. Each entry scripts one fault::
 
@@ -50,9 +57,18 @@ import time
 from collections.abc import Mapping
 from dataclasses import asdict, dataclass
 
-__all__ = ["FaultPlan", "FaultInjector", "FAULTS_ENV", "IO_FAULT_OPS"]
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FAULTS_ENV",
+    "IO_FAULT_OPS",
+    "COORDINATOR_KILL_POINTS",
+]
 
 FAULTS_ENV = "REPRO_DIST_FAULTS"
+
+#: run-lifecycle points a ``kill_coordinator_at`` plan may target
+COORDINATOR_KILL_POINTS = ("staged", "sealed", "dispatch", "merge")
 
 #: store operations an ``io_faults`` entry may target
 IO_FAULT_OPS = frozenset({
@@ -129,6 +145,10 @@ class FaultPlan:
     #: scripted storage faults, fired through the Store seam (see the
     #: module docstring for the entry schema)
     io_faults: tuple = ()
+    #: SIGKILL the coordinator at a run-lifecycle point (see the
+    #: module docstring); workers ignore these fields
+    kill_coordinator_at: str | None = None
+    kill_coordinator_nth: int = 1
 
     def __post_init__(self) -> None:
         for name in ("kill_after_claims", "kill_before_publish",
@@ -139,6 +159,20 @@ class FaultPlan:
                     f"FaultPlan.{name} must be a positive int or None, "
                     f"got {value!r}"
                 )
+        if self.kill_coordinator_at is not None and (
+            self.kill_coordinator_at not in COORDINATOR_KILL_POINTS
+        ):
+            raise ValueError(
+                f"FaultPlan.kill_coordinator_at must be one of "
+                f"{COORDINATOR_KILL_POINTS} or None, "
+                f"got {self.kill_coordinator_at!r}"
+            )
+        nth = self.kill_coordinator_nth
+        if not isinstance(nth, int) or isinstance(nth, bool) or nth < 1:
+            raise ValueError(
+                f"FaultPlan.kill_coordinator_nth must be a positive int, "
+                f"got {nth!r}"
+            )
         if self.delay_publish_s < 0:
             raise ValueError(
                 f"FaultPlan.delay_publish_s must be >= 0, "
@@ -189,6 +223,8 @@ class FaultInjector:
         self.claims = 0
         self.publishes = 0
         self.heartbeats = 0
+        #: per-point crossings of the coordinator lifecycle
+        self.coordinator_points: dict[str, int] = {}
         #: per-io_faults-entry count of operations that matched its
         #: (op, path) selector — the "Nth matching op" clock
         self.io_matches = [0] * len(self.plan.io_faults)
@@ -215,6 +251,24 @@ class FaultInjector:
             self._kill_self()
         if self.plan.delay_publish_s:
             time.sleep(self.plan.delay_publish_s)
+
+    def on_coordinator(self, point: str) -> None:
+        """Called by the coordinator at each run-lifecycle point.
+
+        Counts crossings per point and SIGKILLs the coordinator on the
+        plan's ``kill_coordinator_nth``-th crossing of its scripted
+        ``kill_coordinator_at`` point — a real kill, leaving the
+        manifest/staging/lease state exactly as a dead host would.
+        """
+        self.coordinator_points[point] = (
+            self.coordinator_points.get(point, 0) + 1
+        )
+        if (
+            self.plan.kill_coordinator_at == point
+            and self.coordinator_points[point]
+            >= self.plan.kill_coordinator_nth
+        ):
+            self._kill_self()
 
     def on_heartbeat(self) -> bool:
         """Whether the heartbeat thread should actually renew."""

@@ -208,6 +208,21 @@ class LeaseBoard:
             pass
         return True
 
+    def force_release(self, key: str) -> bool:
+        """Drop ``key``'s lease unconditionally; True when removed.
+
+        Unlike :meth:`release` this does **not** check ownership — the
+        caller is asserting the owner is dead (a supervisor that just
+        reaped the worker process, a doctor repairing an orphan lease,
+        a coordinator taking over from a dead local leader). Never use
+        it on a lease whose owner might still be running.
+        """
+        try:
+            self.store.unlink(self._path(key))
+        except FileNotFoundError:
+            return False
+        return True
+
     # -- inspection -------------------------------------------------------
 
     def leases(self) -> list[Lease]:
@@ -218,3 +233,7 @@ class LeaseBoard:
             if lease is not None:
                 out.append(lease)
         return out
+
+    def owner_leases(self, owner: str) -> list[Lease]:
+        """Every lease currently held by ``owner`` (snapshot)."""
+        return [lease for lease in self.leases() if lease.owner == owner]

@@ -5,7 +5,10 @@ filesystem)::
 
     queue_dir/
       meta.json                      # execution context (trace dir, …)
+      manifest.json                  # CRC-sealed run manifest (repro.dist.manifest)
+      staging/batch-g<n>.jsonl       # batch specs awaiting manifest seal
       tasks/<key>.json               # one ExperimentTask spec per cell
+      tasks/batch-g<n>.jsonl         # published batch specs (one line per cell)
       leases/<key>.json              # lease protocol (repro.dist.lease)
       done/<key>.json                # completion marker: {worker, host, t}
       failed/<key>-<attempt>.json    # per-attempt execution failures
@@ -17,7 +20,13 @@ filesystem)::
 Cells are written once — by the coordinator or by any worker running the
 same deterministic :func:`~repro.exp.runner.grid_tasks` expansion; the
 task key is the config hash, so concurrent enqueues of the same grid
-collapse to identical files. Completed cells append to *per-worker*
+collapse to identical files. Coordinators enqueue **in batch**: one
+sealed-JSONL spec file per generation lands atomically in ``staging/``
+and is published by the run manifest's seal (see
+:mod:`repro.dist.manifest`), so a 10⁶-cell grid is one create, and a
+half-written enqueue is *detectable and resumable* instead of a silent
+race. The per-file :meth:`WorkQueue.enqueue` path remains for elastic
+workers racing to enqueue and for old queue directories. Completed cells append to *per-worker*
 JSONL journal shards (appenders never contend on one file) which are
 merged on read; duplicates from straggler re-issues collapse by key and
 are bit-identical by construction (per-cell ``SeedSequence`` seeding).
@@ -44,6 +53,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.dist.lease import LeaseBoard
+from repro.dist.manifest import MANIFEST_NAME, ManifestCorrupt, RunManifest
 from repro.dist.store import (
     Store,
     seal_line,
@@ -113,6 +123,17 @@ class QueueStatus:
     eta_s: float | None = None
     #: detected-corrupt records moved aside on merge (clean run: 0)
     quarantined: int = 0
+    #: run-manifest snapshot (run_id/state/generation/cells), or None
+    #: for a queue that predates manifests / was never coordinator-run
+    manifest: dict | None = None
+    #: manifest state shorthand: none | staged | sealed | complete |
+    #: corrupt — "staged" means a partial (unsealed) enqueue on disk
+    enqueue: str = "none"
+    #: results parked on worker-local disk awaiting store recovery,
+    #: summed over the workers' metrics snapshots
+    spool_backlog: int = 0
+    #: the coordinator leader-lease, when one is held
+    coordinator: dict | None = None
 
     @property
     def pending(self) -> int:
@@ -131,6 +152,10 @@ class QueueStatus:
             "cells_per_sec": self.cells_per_sec,
             "eta_s": self.eta_s,
             "quarantined": self.quarantined,
+            "manifest": dict(self.manifest) if self.manifest else None,
+            "enqueue": self.enqueue,
+            "spool_backlog": self.spool_backlog,
+            "coordinator": dict(self.coordinator) if self.coordinator else None,
         }
 
     def summary(self) -> str:
@@ -156,6 +181,25 @@ class QueueStatus:
             lines.append(
                 f"QUARANTINE: {self.quarantined} corrupt record(s) moved "
                 f"aside (see queue_dir/quarantine/)"
+            )
+        if self.manifest:
+            lines.append(
+                f"run {self.manifest.get('run_id', '?')}: "
+                f"enqueue {self.enqueue}, "
+                f"generation {self.manifest.get('generation', '?')}"
+            )
+        elif self.enqueue not in ("none", ""):
+            lines.append(f"enqueue {self.enqueue}")
+        if self.spool_backlog:
+            lines.append(
+                f"SPOOL: {self.spool_backlog} result(s) parked on "
+                f"worker-local disk awaiting store recovery"
+            )
+        if self.coordinator:
+            state = "live" if self.coordinator.get("live") else "EXPIRED"
+            lines.append(
+                f"coordinator {self.coordinator.get('owner', '?')} "
+                f"({state} lease)"
             )
         now = time.time()
         for worker in self.workers:
@@ -193,16 +237,21 @@ class WorkQueue:
         self.quarantine_dir = self.root / "quarantine"
         self.workers_dir = self.root / "workers"
         self.metrics_dir = self.root / "metrics"
+        self.staging_dir = self.root / "staging"
         if create:
             for path in (
                 self.root, self.tasks_dir, self.done_dir, self.failed_dir,
                 self.results_dir, self.quarantine_dir, self.workers_dir,
-                self.metrics_dir,
+                self.metrics_dir, self.staging_dir,
             ):
                 path.mkdir(parents=True, exist_ok=True)
         self.leases = LeaseBoard(
             self.root / "leases", ttl=lease_ttl, store=self.store
         )
+        # Published batch files are immutable (re-publication is a new
+        # generation under a new name), so their parsed specs are cached
+        # by filename for the lifetime of this queue handle.
+        self._batch_cache: dict[str, dict[str, dict]] = {}
 
     def use_store(self, store: Store) -> None:
         """Route this queue (and its lease board) through ``store``.
@@ -231,6 +280,141 @@ class WorkQueue:
         except (FileNotFoundError, json.JSONDecodeError):
             return {}
 
+    # -- run manifest ------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def read_manifest(self) -> RunManifest | None:
+        """The run manifest, or None for a queue that never had one.
+
+        Raises :class:`~repro.dist.manifest.ManifestCorrupt` when a
+        manifest exists but cannot be trusted (bad CRC, unparseable
+        JSON, malformed document) — callers decide whether to
+        quarantine-and-rebuild (the coordinator) or merely report (the
+        doctor, ``queue-status``).
+        """
+        try:
+            payload = self.store.read_json(self.manifest_path)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as exc:
+            raise ManifestCorrupt(f"manifest is not JSON: {exc}") from None
+        body, verdict = verify_sealed_payload(payload)
+        if verdict is False:
+            raise ManifestCorrupt("manifest failed its CRC32 checksum")
+        try:
+            return RunManifest.from_json_dict(body)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestCorrupt(f"manifest is malformed: {exc}") from None
+
+    def write_manifest(self, manifest: RunManifest) -> None:
+        """Atomically publish ``manifest`` (CRC-sealed, last-wins)."""
+        self.store.atomic_write_json(
+            self.manifest_path, manifest.to_json_dict(), seal=True
+        )
+
+    def quarantine_manifest(self, reason: str) -> None:
+        """Move an untrustworthy manifest aside, with provenance."""
+        try:
+            raw = self.manifest_path.read_text()
+        except OSError:
+            raw = ""
+        self._quarantine("manifest", 1, raw, reason)
+        try:
+            self.store.unlink(self.manifest_path)
+        except FileNotFoundError:
+            pass
+
+    # -- batch specs -------------------------------------------------------
+
+    def stage_batch(self, tasks: list[ExperimentTask], name: str) -> Path:
+        """Write one generation's specs as a single sealed-JSONL file in
+        ``staging/`` — unpublished until the manifest seal promotes it.
+
+        One atomic create for the whole generation (the 10⁶-cells →
+        10⁶-creates fix), deterministic content for a deterministic
+        grid, so re-staging after a crash rewrites the identical file.
+        """
+        self.staging_dir.mkdir(parents=True, exist_ok=True)
+        lines = [
+            seal_line(json.dumps(
+                {"key": task.key(), "spec": task.to_json_dict()},
+                sort_keys=True,
+            ))
+            for task in tasks
+        ]
+        path = self.staging_dir / name
+        self.store.atomic_write_text(path, "\n".join(lines) + "\n")
+        return path
+
+    def promote_staged(self, names: tuple[str, ...] | list[str]) -> list[str]:
+        """Move sealed batch files from ``staging/`` into ``tasks/``.
+
+        Idempotent: a name with nothing in staging was already promoted
+        (or never staged on this generation) and is skipped. Only ever
+        called with the batch list of a *sealed* manifest — the seal is
+        the publication point.
+        """
+        promoted = []
+        for name in names:
+            src = self.staging_dir / name
+            try:
+                self.store.replace(src, self.tasks_dir / name)
+            except FileNotFoundError:
+                continue
+            promoted.append(name)
+        return promoted
+
+    def _load_batch(self, path: Path) -> dict[str, dict]:
+        """Parse one published batch file into ``{key: spec_dict}``.
+
+        Corrupt lines are quarantined with provenance and skipped — the
+        coordinator's resume path re-stages any key whose spec went
+        missing, so a mangled line costs a re-enqueue, not a cell.
+        """
+        cached = self._batch_cache.get(path.name)
+        if cached is not None:
+            return cached
+        try:
+            text = self.store.read_text(path)
+        except FileNotFoundError:
+            return {}
+        specs: dict[str, dict] = {}
+        for line_no, line in enumerate(text.split("\n")):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            body, verdict = unseal_line(stripped)
+            if verdict is False:
+                self._quarantine(
+                    path.name, line_no + 1, stripped,
+                    "batch spec line checksum mismatch",
+                )
+                continue
+            try:
+                record = json.loads(body)
+                key = record["key"]
+                spec = record["spec"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                self._quarantine(
+                    path.name, line_no + 1, stripped,
+                    "batch spec line failed to parse",
+                )
+                continue
+            specs.setdefault(str(key), spec)
+        self._batch_cache[path.name] = specs
+        return specs
+
+    def _batch_specs(self) -> dict[str, dict]:
+        """Every published batch spec, merged across generations."""
+        merged: dict[str, dict] = {}
+        for path in sorted(self.tasks_dir.glob("batch-*.jsonl")):
+            for key, spec in self._load_batch(path).items():
+                merged.setdefault(key, spec)
+        return merged
+
     # -- task records -----------------------------------------------------
 
     def enqueue(self, tasks: list[ExperimentTask]) -> list[str]:
@@ -255,19 +439,34 @@ class WorkQueue:
         return keys
 
     def task_keys(self) -> list[str]:
-        """Every enqueued cell key, sorted for a stable scan order."""
-        return sorted(path.stem for path in self.tasks_dir.glob("*.json"))
+        """Every enqueued cell key, sorted for a stable scan order.
+
+        The union of per-file specs (``tasks/<key>.json``) and published
+        batch specs (``tasks/batch-g<n>.jsonl`` lines) — the two enqueue
+        paths coexist in one directory.
+        """
+        keys = {path.stem for path in self.tasks_dir.glob("*.json")}
+        keys.update(self._batch_specs())
+        return sorted(keys)
 
     def load_task(self, key: str) -> ExperimentTask:
         """Load and checksum-verify one task spec.
 
-        A spec that fails its checksum (or no longer parses) is
+        Per-file specs win over batch lines (both are keyed by the
+        config hash, so the content is identical by construction). A
+        spec that fails its checksum (or no longer parses) is
         quarantined with provenance and raises — executing a corrupted
         spec would publish a result under a key that no longer matches
         its content.
         """
         path = self.tasks_dir / f"{key}.json"
-        text = self.store.read_text(path)
+        try:
+            text = self.store.read_text(path)
+        except FileNotFoundError:
+            spec = self._batch_specs().get(key)
+            if spec is None:
+                raise
+            return ExperimentTask.from_json_dict(spec)
         try:
             payload = json.loads(text)
         except json.JSONDecodeError:
@@ -544,7 +743,18 @@ class WorkQueue:
         live = expired = 0
         now = time.time()
         claimed = set()
+        coordinator = None
         for lease in self.leases.leases():
+            if lease.key.startswith("__"):
+                # Reserved (non-task) leases — the coordinator leader
+                # lease — are reported separately, never as cell claims.
+                coordinator = {
+                    "owner": lease.owner,
+                    "live": not lease.expired(now),
+                    "expires_at": lease.expires_at,
+                    "renewals": lease.renewals,
+                }
+                continue
             if lease.key in done:
                 continue
             claimed.add(lease.key)
@@ -561,6 +771,30 @@ class WorkQueue:
             # clock, which may run ahead of this reader's on another
             # host; a negative age is always clock skew, never data.
             worker["age_s"] = max(0.0, now - worker.get("last_seen", now))
+        manifest_info = None
+        enqueue = "none"
+        try:
+            manifest = self.read_manifest()
+        except ManifestCorrupt:
+            enqueue = "corrupt"
+        else:
+            if manifest is not None:
+                enqueue = manifest.state
+                manifest_info = {
+                    "run_id": manifest.run_id,
+                    "state": manifest.state,
+                    "generation": manifest.generation,
+                    "cells": len(manifest.keys),
+                    "batches": list(manifest.batches),
+                }
+        spool = 0
+        for snap in self.worker_metrics():
+            counters = snap.get("counters", {})
+            spool += max(
+                0,
+                int(counters.get("store.degraded_entries", 0))
+                - int(counters.get("store.spool_flushed", 0)),
+            )
         return QueueStatus(
             total=len(keys),
             done=n_done,
@@ -572,4 +806,8 @@ class WorkQueue:
             cells_per_sec=rate,
             eta_s=eta,
             quarantined=self.quarantine_count(),
+            manifest=manifest_info,
+            enqueue=enqueue,
+            spool_backlog=spool,
+            coordinator=coordinator,
         )

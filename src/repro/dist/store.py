@@ -383,6 +383,31 @@ class Store:
 
         self._run("write", path, write)
 
+    def atomic_write_text(self, path: str | os.PathLike, text: str) -> None:
+        """Write ``text`` whole via temp file + ``os.replace``.
+
+        The batch-enqueue path publishes one sealed-JSONL spec file per
+        generation through this: readers see the complete file or no
+        file, never a prefix — which is what lets a manifest seal stand
+        in for 10⁶ individual spec creates.
+        """
+        path = Path(path)
+
+        def write() -> None:
+            fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+
+        self._run("write", path, write)
+
     def fsync_append(self, path: str | os.PathLike, line: str) -> None:
         """Durably append one line: write, flush, ``fsync`` (file, and
         the directory on first create).

@@ -1,0 +1,399 @@
+"""Worker supervision: respawn crashed queue workers, break crash loops.
+
+A :class:`WorkerSupervisor` owns N worker *slots*. Each slot runs one
+``repro.dist.worker.QueueWorker`` subprocess; when the process dies with
+a non-zero exit code (SIGKILL, OOM, unhandled exception) the slot
+respawns it — under a fresh worker id, after an exponential backoff —
+until the queue drains or the slot's **circuit breaker** opens.
+
+The breaker exists because respawning is only safe when crashes are
+*independent*: a worker that dies instantly every time it starts (bad
+install, poisoned host, corrupt mount) would otherwise burn through the
+whole grid's attempt budget. ``max_crashes`` consecutive crashes —
+where "consecutive" resets once an incarnation survives
+``healthy_after_s`` — opens the slot for good.
+
+Crashes feed the existing failure accounting: every lease the dead
+worker still held gets a recorded failure attempt (it crashed *holding*
+that cell) and is force-released for immediate re-issue, so a cell that
+kills every worker that touches it poisons at ``MAX_ATTEMPTS`` like any
+other deterministic failure, instead of crash-looping the fleet
+forever. Lifecycle events (``supervisor_spawn`` / ``supervisor_crash``
+/ ``supervisor_circuit_open``) route through ``repro.obs`` when a
+telemetry session is active.
+
+Drive it from the CLI as ``repro work --queue DIR --supervise N`` or
+let the coordinator own it via ``dispatch_tasks(..., supervise=True)``
+(scenario ``execution.supervise``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import sys
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from repro.dist.faults import FaultPlan
+from repro.dist.queue import WorkQueue
+from repro.obs import runtime as _obs_runtime
+from repro.obs.logbridge import get_logger, kv
+
+__all__ = ["WorkerSupervisor", "SupervisorReport"]
+
+_log = get_logger("repro.dist.supervise")
+
+
+@dataclass
+class SupervisorReport:
+    """What one supervision session did before exiting."""
+
+    slots: int
+    spawned: int = 0
+    crashes: int = 0
+    #: failure attempts recorded against cells dead workers still held
+    strikes: int = 0
+    #: slot indices whose circuit breaker opened (crash loop)
+    circuit_open: list[int] = field(default_factory=list)
+    #: ``drained`` | ``circuit_open`` | ``stopped``
+    exit_reason: str = ""
+
+
+class _Slot:
+    """One supervised worker position: its live process + crash state."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.proc: multiprocessing.process.BaseProcess | None = None
+        self.worker_id: str | None = None
+        self.generation = 0  # incarnations spawned so far
+        self.consecutive = 0  # crashes without a healthy run between
+        self.started_at = 0.0
+        self.next_spawn_at = 0.0
+        self.open = False  # circuit breaker
+        self.retired = False  # clean worker exit: queue drained
+
+
+class WorkerSupervisor:
+    """Respawn-with-backoff supervision over N queue-worker slots.
+
+    Parameters
+    ----------
+    queue:
+        The :class:`WorkQueue` (or its directory path).
+    n_workers:
+        Number of worker slots.
+    backoff_base_s / backoff_max_s:
+        Respawn delay after the n-th consecutive crash:
+        ``min(backoff_max_s, backoff_base_s * 2**(n-1))``.
+    max_crashes:
+        Consecutive crashes that open a slot's circuit breaker.
+    healthy_after_s:
+        An incarnation surviving this long resets its slot's
+        consecutive-crash counter (the crash streak was broken).
+    wait_for_work:
+        Spawn elastic workers (``--wait`` semantics: they exit on a
+        complete run manifest instead of a drained scan).
+    spawn_faults:
+        Scripted :class:`FaultPlan`\\ s per slot *per incarnation*
+        (``spawn_faults[slot][generation]``), for testing respawns.
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue | str | os.PathLike,
+        n_workers: int,
+        *,
+        lease_ttl: float | None = None,
+        poll_interval: float = 0.2,
+        backoff_base_s: float = 0.5,
+        backoff_max_s: float = 30.0,
+        max_crashes: int = 5,
+        healthy_after_s: float = 5.0,
+        wait_for_work: bool = False,
+        cell_timeout_s: float | None = None,
+        worker_poll_interval: float = 0.2,
+        spawn_faults: "list[list[FaultPlan | None]] | None" = None,
+        mp_start_method: str | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(
+                f"supervisor needs at least one worker slot, got {n_workers!r}"
+            )
+        if not isinstance(queue, WorkQueue):
+            queue = WorkQueue(queue, lease_ttl=lease_ttl or 30.0, create=False)
+        elif lease_ttl is not None:
+            queue.leases.ttl = float(lease_ttl)
+        self.queue = queue
+        self.lease_ttl = queue.leases.ttl
+        self.poll_interval = poll_interval
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.max_crashes = max_crashes
+        self.healthy_after_s = healthy_after_s
+        self.wait_for_work = wait_for_work
+        self.cell_timeout_s = cell_timeout_s
+        self.worker_poll_interval = worker_poll_interval
+        self.spawn_faults = spawn_faults or []
+        if mp_start_method is None:
+            mp_start_method = (
+                "fork" if sys.platform.startswith("linux") else "spawn"
+            )
+        self._context = multiprocessing.get_context(mp_start_method)
+        self._slots = [_Slot(i) for i in range(n_workers)]
+        self._halt = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.report = SupervisorReport(slots=n_workers)
+        #: True once the supervision loop has ended (all slots retired,
+        #: every breaker open, or stop()); the coordinator's inline
+        #: fallback keys off this.
+        self.done = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Run supervision on a background thread (coordinator mode)."""
+        self._thread = threading.Thread(
+            target=self.run, name="worker-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 35.0) -> None:
+        """Halt supervision and terminate any live workers."""
+        self._halt.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+        for slot in self._slots:
+            proc = slot.proc
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    def alive_count(self) -> int:
+        return sum(
+            1
+            for slot in self._slots
+            if slot.proc is not None and slot.proc.is_alive()
+        )
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(self) -> SupervisorReport:
+        """Supervise until the queue drains or every breaker opens."""
+        try:
+            while not self._halt.is_set():
+                now = time.time()
+                for slot in self._slots:
+                    self._tick_slot(slot, now)
+                live = [
+                    s for s in self._slots
+                    if s.proc is not None and s.proc.exitcode is None
+                ]
+                if all(s.open for s in self._slots):
+                    self.report.exit_reason = "circuit_open"
+                    break
+                if not live and (
+                    all(s.open or s.retired for s in self._slots)
+                    or self._no_work_left()
+                ):
+                    # Nothing running and nothing to respawn for.
+                    self.report.exit_reason = (
+                        "drained"
+                        if any(s.retired for s in self._slots)
+                        or self._no_work_left()
+                        else "circuit_open"
+                    )
+                    break
+                self._halt.wait(self.poll_interval)
+            else:
+                self.report.exit_reason = "stopped"
+        finally:
+            self.done = True
+            self.report.circuit_open = [
+                s.index for s in self._slots if s.open
+            ]
+            _log.info(
+                "supervisor exiting",
+                extra=kv(
+                    spawned=self.report.spawned,
+                    crashes=self.report.crashes,
+                    strikes=self.report.strikes,
+                    circuit_open=self.report.circuit_open,
+                    exit_reason=self.report.exit_reason,
+                ),
+            )
+        return self.report
+
+    def _tick_slot(self, slot: _Slot, now: float) -> None:
+        if slot.open or slot.retired:
+            return
+        proc = slot.proc
+        if proc is not None:
+            if proc.exitcode is None:
+                return  # running fine
+            self._on_exit(slot, proc.exitcode, now)
+            if slot.open or slot.retired:
+                return
+        if now < slot.next_spawn_at:
+            return  # backing off
+        if self._no_work_left():
+            # Don't spawn into a drained queue; the slot retires
+            # quietly (a clean-exited worker would do the same).
+            slot.retired = True
+            return
+        self._spawn(slot)
+
+    def _on_exit(self, slot: _Slot, exitcode: int, now: float) -> None:
+        slot.proc = None
+        if exitcode == 0:
+            # Clean exit: the worker drained the queue (or hit its run-
+            # complete signal). The slot retires; respawning would just
+            # spin on an empty scan.
+            slot.consecutive = 0
+            slot.retired = True
+            return
+        self.report.crashes += 1
+        uptime = now - slot.started_at
+        if uptime >= self.healthy_after_s:
+            slot.consecutive = 1  # streak broken by a healthy run
+        else:
+            slot.consecutive += 1
+        strikes = self._strike_held_leases(slot, exitcode)
+        _log.warning(
+            "supervised worker crashed",
+            extra=kv(
+                slot=slot.index, worker_id=slot.worker_id,
+                exitcode=exitcode, uptime_s=round(uptime, 2),
+                consecutive=slot.consecutive, strikes=strikes,
+            ),
+        )
+        self._event(
+            "supervisor_crash", slot=slot.index, worker_id=slot.worker_id,
+            exitcode=exitcode, consecutive=slot.consecutive,
+        )
+        if slot.consecutive >= self.max_crashes:
+            slot.open = True
+            _log.error(
+                "crash loop: circuit breaker opened for slot",
+                extra=kv(
+                    slot=slot.index, crashes=slot.consecutive,
+                    max_crashes=self.max_crashes,
+                ),
+            )
+            self._event(
+                "supervisor_circuit_open", slot=slot.index,
+                crashes=slot.consecutive,
+            )
+            return
+        backoff = min(
+            self.backoff_max_s,
+            self.backoff_base_s * (2 ** (slot.consecutive - 1)),
+        )
+        slot.next_spawn_at = now + backoff
+
+    def _strike_held_leases(self, slot: _Slot, exitcode: int) -> int:
+        """Record a failure attempt on, and free, every cell the dead
+        worker still held — this is what feeds a crash-*causing* cell
+        into the ordinary MAX_ATTEMPTS poison accounting."""
+        if slot.worker_id is None:
+            return 0
+        struck = 0
+        try:
+            held = self.queue.leases.owner_leases(slot.worker_id)
+        except OSError:
+            return 0
+        for lease in held:
+            try:
+                self.queue.record_failure(
+                    lease.key,
+                    slot.worker_id,
+                    f"worker process crashed (exit {exitcode}) while "
+                    f"holding this cell's lease",
+                )
+                self.queue.leases.force_release(lease.key)
+            except OSError as exc:
+                _log.warning(
+                    "failed to strike a dead worker's lease",
+                    extra=kv(key=lease.key, error=str(exc)),
+                )
+                continue
+            struck += 1
+        self.report.strikes += struck
+        return struck
+
+    def _spawn(self, slot: _Slot) -> None:
+        from repro.api.registry import registration_modules
+        from repro.dist.coordinator import worker_process_entry
+
+        plan = self._plan_for(slot)
+        worker_id = (
+            f"sup{slot.index}g{slot.generation}-"
+            f"{socket.gethostname().split('.')[0]}-{os.getpid()}-"
+            f"{uuid.uuid4().hex[:4]}"
+        )
+        options = {
+            "wait_for_work": self.wait_for_work,
+            "poll_interval": self.worker_poll_interval,
+        }
+        if self.cell_timeout_s is not None:
+            options["cell_timeout_s"] = self.cell_timeout_s
+        proc = self._context.Process(
+            target=worker_process_entry,
+            args=(
+                str(self.queue.root),
+                worker_id,
+                self.lease_ttl,
+                plan,
+                registration_modules(),
+                list(sys.path),
+                options,
+            ),
+            daemon=False,
+        )
+        proc.start()
+        slot.proc = proc
+        slot.worker_id = worker_id
+        slot.generation += 1
+        slot.started_at = time.time()
+        self.report.spawned += 1
+        _log.info(
+            "supervised worker spawned",
+            extra=kv(
+                slot=slot.index, worker_id=worker_id,
+                incarnation=slot.generation,
+            ),
+        )
+        self._event(
+            "supervisor_spawn", slot=slot.index, worker_id=worker_id,
+            incarnation=slot.generation,
+        )
+
+    def _plan_for(self, slot: _Slot) -> FaultPlan | None:
+        """The scripted fault plan of this slot's *next* incarnation."""
+        if slot.index >= len(self.spawn_faults):
+            return None
+        per_generation = self.spawn_faults[slot.index]
+        if slot.generation >= len(per_generation):
+            return None
+        return per_generation[slot.generation]
+
+    def _no_work_left(self) -> bool:
+        """No cell a fresh worker could make progress on (done, poisoned,
+        or — conservatively — none at all readable)."""
+        try:
+            for key in self.queue.task_keys():
+                if self.queue.is_done(key) or self.queue.poisoned(key):
+                    continue
+                return False
+        except OSError:
+            return False  # can't tell: keep supervising
+        return True
+
+    def _event(self, name: str, **fields) -> None:
+        session = _obs_runtime.session
+        if session is not None:
+            session.event(name, **fields)

@@ -145,6 +145,9 @@ class WorkerReport:
     failed: list[str] = field(default_factory=list)
     timed_out: list[str] = field(default_factory=list)
     spooled: list[str] = field(default_factory=list)
+    #: why the loop ended: ``drained`` | ``max_cells`` | ``run_complete``
+    #: (a ``--wait`` worker that saw the run manifest flip to complete)
+    exit_reason: str = ""
 
     @property
     def cells_done(self) -> int:
@@ -304,10 +307,26 @@ class QueueWorker:
                 if self.max_cells is not None and (
                     len(self.report.executed) >= self.max_cells
                 ):
+                    self.report.exit_reason = "max_cells"
                     break
                 if not progress:
-                    if self._drained() and not self.wait_for_work:
-                        break
+                    if self._drained():
+                        if not self.wait_for_work:
+                            self.report.exit_reason = "drained"
+                            break
+                        if self._run_complete():
+                            # The coordinator marked the run manifest
+                            # complete: every promised cell is done, no
+                            # later generation is coming. An elastic
+                            # --wait worker exits with a distinct
+                            # status instead of polling forever.
+                            self.report.exit_reason = "run_complete"
+                            _log.info(
+                                "run manifest complete; elastic worker "
+                                "exiting",
+                                extra=kv(queue=str(self.queue.root)),
+                            )
+                            break
                     time.sleep(self.poll_interval)
             if self._spooled:
                 # Last chance before exit: the queue may have drained
@@ -345,6 +364,7 @@ class QueueWorker:
                     straggled=len(self.report.straggled),
                     failed=len(self.report.failed),
                     timed_out=len(self.report.timed_out),
+                    exit_reason=self.report.exit_reason,
                 ),
             )
         return self.report
@@ -388,6 +408,21 @@ class QueueWorker:
                 continue
             return False
         return True
+
+    def _run_complete(self) -> bool:
+        """Whether the run manifest says every promised cell is done.
+
+        Conservative on any doubt (missing, corrupt, unreadable → not
+        complete): the wrong answer here merely keeps an elastic worker
+        polling, never strands work.
+        """
+        from repro.dist.manifest import ManifestCorrupt
+
+        try:
+            manifest = self.queue.read_manifest()
+        except (ManifestCorrupt, OSError, json.JSONDecodeError):
+            return False
+        return manifest is not None and manifest.complete
 
     def _scan_once(self, meta: dict) -> bool:
         """One pass over the task records; True when a cell executed."""

@@ -204,6 +204,7 @@ class ExperimentRunner:
         lease_ttl: float = 30.0,
         cell_timeout_s: float | None = None,
         worker_faults: Sequence | None = None,
+        supervise: bool = False,
         progress: bool | None = None,
     ) -> None:
         if n_workers is None:
@@ -236,6 +237,9 @@ class ExperimentRunner:
             float(cell_timeout_s) if cell_timeout_s is not None else None
         )
         self.worker_faults = list(worker_faults) if worker_faults else []
+        #: queue mode only: run local workers under the respawning
+        #: WorkerSupervisor instead of bare subprocesses
+        self.supervise = bool(supervise)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
@@ -517,6 +521,7 @@ class ExperimentRunner:
             batch_episodes=self.batch_episodes,
             cell_timeout_s=self.cell_timeout_s,
             worker_faults=self.worker_faults,
+            supervise=self.supervise,
         )
         for key in pending:
             self._record(resolved, results[key])

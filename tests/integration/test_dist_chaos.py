@@ -18,15 +18,21 @@ randomized in shape but identical on every run.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import random
+import signal
+import socket
 
 import pytest
 
 from repro.dist import (
+    COORDINATOR_KEY,
     FaultInjector,
     FaultPlan,
     QueueWorker,
     WorkQueue,
+    audit_queue,
     dispatch_tasks,
 )
 from repro.exp import ExperimentRunner, grid_tasks
@@ -177,3 +183,96 @@ class TestChaosSoak:
         queue = WorkQueue(tmp_path / "q", create=False)
         assert queue.quarantine_count() == 0
         assert queue.status().pending == 0
+
+
+def _dispatch_in_child(queue_dir, config, plan_json):
+    """Fork target: run a coordinator scripted to SIGKILL itself."""
+    tasks = grid_tasks(METHODS, ["S1"], config, n_seeds=2)
+    dispatch_tasks(
+        queue_dir,
+        tasks,
+        n_workers=2,
+        lease_ttl=1.5,
+        coordinator_faults=FaultPlan.from_json(plan_json),
+    )
+
+
+class TestCoordinatorCrash:
+    """SIGKILL the *coordinator* anywhere in the run lifecycle, then
+    re-invoke the dispatch on the same queue dir: the resumed run must
+    merge bit-identically to an uninterrupted serial run, and the queue
+    must audit clean afterwards."""
+
+    @pytest.mark.parametrize(
+        "point,nth",
+        [
+            ("staged", 1),    # mid-enqueue: manifest staged, nothing published
+            ("sealed", 1),    # mid-enqueue: sealed but batch never promoted
+            ("dispatch", 1),  # mid-dispatch: workers live, poll loop dies
+            ("merge", 1),     # post-dispatch: all cells done, merge never ran
+        ],
+    )
+    def test_kill_and_resume_is_bit_identical(
+        self, grid_config, serial_exact, tmp_path, point, nth
+    ):
+        tasks = _tasks(grid_config)
+        plan = FaultPlan(kill_coordinator_at=point, kill_coordinator_nth=nth)
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(
+            target=_dispatch_in_child,
+            args=(str(tmp_path / "q"), grid_config, plan.to_json()),
+        )
+        proc.start()
+        proc.join(timeout=120)
+        assert proc.exitcode == -signal.SIGKILL  # the kill really landed
+        queue = WorkQueue(tmp_path / "q", create=False)
+        before = queue.read_manifest()
+        assert before is not None  # every point is past the first write
+        # Re-invoke on the same dir: the new coordinator detects the
+        # dead leader (local-pid fast path), takes the run over, and
+        # resumes from whatever the manifest pins.
+        results = dispatch_tasks(
+            tmp_path / "q",
+            tasks,
+            n_workers=2,
+            lease_ttl=1.5,
+            coordinator_faults=FaultPlan(),
+        )
+        assert _exact([results[t.key()] for t in tasks]) == serial_exact
+        after = queue.read_manifest()
+        assert after.run_id == before.run_id  # resumed, not restarted
+        assert after.generation == before.generation
+        assert after.complete
+        status = queue.status()
+        assert status.pending == 0
+        assert status.quarantined == 0  # a clean kill corrupts nothing
+        # The queue audits clean once repairable debris is swept.
+        assert audit_queue(tmp_path / "q", repair=True).ok
+
+    def test_attach_to_live_coordinator_returns_merge(
+        self, grid_config, serial_exact, tmp_path
+    ):
+        """A second `repro run --queue` against a run whose leader lease
+        is live (and local) must attach — poll, never dispatch — and
+        hand back the leader's merge once the manifest completes."""
+        tasks = _tasks(grid_config)
+        first = dispatch_tasks(
+            tmp_path / "q", tasks, n_workers=2, lease_ttl=10.0
+        )
+        assert _exact([first[t.key()] for t in tasks]) == serial_exact
+        queue = WorkQueue(tmp_path / "q", create=False, lease_ttl=10.0)
+        # Impersonate a live local coordinator (our own pid is alive).
+        host = socket.gethostname().split(".")[0]
+        owner = f"coord-{host}-{os.getpid()}"
+        assert queue.leases.try_claim(COORDINATOR_KEY, owner)
+        results = dispatch_tasks(
+            tmp_path / "q",
+            tasks,
+            n_workers=2,
+            lease_ttl=10.0,
+            coordinator_faults=FaultPlan(),
+        )
+        assert _exact([results[t.key()] for t in tasks]) == serial_exact
+        # Attach mode never stole the leader lease.
+        lease = queue.leases.read(COORDINATOR_KEY)
+        assert lease is not None and lease.owner == owner
